@@ -1,0 +1,201 @@
+//! Queryability under telemetry report loss (§3's robustness claim,
+//! quantified).
+//!
+//! DART switches report over unreliable transport; a lost RDMA WRITE
+//! just leaves one of a key's `N` slots stale. With per-packet reporting
+//! a flow of `r` packets throws `r` darts — each at a uniformly chosen
+//! copy slot, each surviving the network with probability `1 − p` — so
+//! coverage of the redundancy slots is itself probabilistic:
+//!
+//! * a specific slot remains *uncovered* with probability
+//!   `(1 − (1−p)/N)^r`;
+//! * the key is completely unreported iff all `r` reports are lost:
+//!   probability `p^r` (any delivered report covers *some* slot).
+//!
+//! Combined with §4 aging (a covered slot must also survive
+//! overwriting), the per-slot survival probability is
+//! `cov · e^{−αN}`, and treating slots as independent (exact for the
+//! complete-loss term, a good approximation otherwise — see the tests
+//! pinning it against simulation):
+//!
+//! `success(α) ≈ 1 − (1 − cov·e^{−αN})^N − correction`,
+//!
+//! where the correction accounts for the difference between "no slot
+//! covered" under independence (`(1−cov)^N`) and the exact `p^r`.
+
+/// Probability that a *specific* one of the `N` slots is covered by at
+/// least one delivered report, given `reports` reports and loss `p`.
+pub fn slot_coverage(n: u32, reports: u32, loss: f64) -> f64 {
+    debug_assert!(n >= 1);
+    let miss = 1.0 - (1.0 - loss) / f64::from(n);
+    1.0 - miss.powi(reports as i32)
+}
+
+/// Probability that *no* report of the key was delivered at all (the
+/// key is invisible regardless of aging): `p^reports`.
+pub fn all_reports_lost(reports: u32, loss: f64) -> f64 {
+    loss.powi(reports as i32)
+}
+
+/// Distribution of the number of distinct slots covered by `darts`
+/// uniform throws into `n` slots: `P(C = c)` via the surjection formula
+/// `P(C=c) = C(n,c) · Surj(darts,c) / n^darts`.
+fn occupancy_distribution(n: u32, darts: u32) -> Vec<f64> {
+    let mut dist = vec![0.0f64; n as usize + 1];
+    if darts == 0 {
+        dist[0] = 1.0;
+        return dist;
+    }
+    let total = f64::from(n).powi(darts as i32);
+    for c in 1..=n.min(darts) {
+        // Surjections of `darts` labelled balls onto `c` labelled bins.
+        let mut surj = 0.0f64;
+        for j in 0..=c {
+            let term = crate::math::binomial(c, j) * f64::from(c - j).powi(darts as i32);
+            if j % 2 == 0 {
+                surj += term;
+            } else {
+                surj -= term;
+            }
+        }
+        dist[c as usize] = crate::math::binomial(n, c) * surj / total;
+    }
+    dist
+}
+
+/// Query success for a key of age `alpha` whose flow emitted `reports`
+/// per-packet reports under loss `p`, with redundancy `n`.
+///
+/// Under the §4 assumptions: condition on the number of delivered
+/// reports `d ~ Binomial(reports, 1−p)`, then on the number of distinct
+/// covered slots `C` (occupancy of `d` uniform darts in `n` bins); a
+/// covered slot survives aging independently with probability
+/// `e^{−αN·cov}` — the aging pressure scales with how many of *their*
+/// slots the other keys actually managed to cover, not with the nominal
+/// `N`. `success = 1 − E[(1 − e^{−αN·cov})^C]`.
+///
+/// A consequence worth noting: at heavy load, raising `reports` *hurts*
+/// — better self-coverage is outweighed by the extra churn everyone
+/// else's reports inflict. It is the loss-domain analogue of Figure 3's
+/// optimal-N crossover.
+pub fn query_success_with_loss(alpha: f64, n: u32, reports: u32, loss: f64) -> f64 {
+    let cov = slot_coverage(n, reports, loss);
+    let alive = (-alpha * f64::from(n) * cov).exp();
+    let dead = 1.0 - alive;
+    let delivered = 1.0 - loss;
+    let mut failure = 0.0f64;
+    for d in 0..=reports {
+        // Binomial pmf, numerically plain (reports is small).
+        let pmf = crate::math::binomial(reports, d)
+            * delivered.powi(d as i32)
+            * loss.powi((reports - d) as i32);
+        if pmf == 0.0 {
+            continue;
+        }
+        let occupancy = occupancy_distribution(n, d);
+        let mut all_covered_dead = 0.0;
+        for (c, &p_c) in occupancy.iter().enumerate() {
+            all_covered_dead += p_c * dead.powi(c as i32);
+        }
+        failure += pmf * all_covered_dead;
+    }
+    (1.0 - failure).clamp(0.0, 1.0)
+}
+
+/// Average success over ages `[0, alpha]` (the insert-everything-then-
+/// query-everything experiment), Simpson-integrated.
+pub fn average_success_with_loss(alpha: f64, n: u32, reports: u32, loss: f64) -> f64 {
+    if alpha <= 0.0 {
+        return query_success_with_loss(0.0, n, reports, loss);
+    }
+    crate::math::simpson(
+        |a| query_success_with_loss(a, n, reports, loss),
+        0.0,
+        alpha,
+        256,
+    ) / alpha
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn no_loss_full_reports_recovers_base_theory() {
+        // With zero loss and many reports every slot is covered, so the
+        // formula must collapse to §4's 1 − (1 − e^{−αN})^N.
+        for &alpha in &[0.0, 0.5, 1.0, 2.0] {
+            for n in 1..=4 {
+                let with_loss = query_success_with_loss(alpha, n, 64, 0.0);
+                let base = crate::query_success(alpha, n);
+                assert!(
+                    (with_loss - base).abs() < 1e-6,
+                    "α={alpha} N={n}: {with_loss} vs {base}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_age_is_exactly_delivery_probability() {
+        for &loss in &[0.1, 0.3, 0.6] {
+            for reports in 1..=4 {
+                let s = query_success_with_loss(0.0, 2, reports, loss);
+                let exact = 1.0 - loss.powi(reports as i32);
+                assert!((s - exact).abs() < EPS, "{s} vs {exact}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_limits() {
+        assert!((slot_coverage(2, 1, 0.0) - 0.5).abs() < EPS);
+        assert!(slot_coverage(2, 64, 0.0) > 0.999_999);
+        assert!(slot_coverage(2, 1, 1.0).abs() < EPS);
+        assert!((all_reports_lost(3, 0.5) - 0.125).abs() < EPS);
+    }
+
+    #[test]
+    fn monotone_in_reports_at_light_load() {
+        for &alpha in &[0.0, 0.1, 0.25] {
+            let mut prev = -1.0;
+            for reports in 1..=8 {
+                let s = query_success_with_loss(alpha, 2, reports, 0.3);
+                assert!(s >= prev - EPS, "not monotone in reports at α={alpha}");
+                prev = s;
+            }
+            assert!(
+                query_success_with_loss(alpha, 2, 2, 0.1)
+                    > query_success_with_loss(alpha, 2, 2, 0.5)
+            );
+        }
+    }
+
+    #[test]
+    fn more_reports_hurt_at_heavy_load() {
+        // The loss-domain analogue of the Figure 3 crossover: at heavy
+        // load, extra per-flow reports churn the table more than they
+        // protect their own flow.
+        let few = query_success_with_loss(2.0, 2, 1, 0.3);
+        let many = query_success_with_loss(2.0, 2, 8, 0.3);
+        assert!(few > many, "few {few} vs many {many}");
+    }
+
+    #[test]
+    fn probabilities_in_range() {
+        for &alpha in &[0.0, 1.0, 4.0] {
+            for n in 1..=4 {
+                for reports in 1..=6 {
+                    for &loss in &[0.0, 0.2, 0.9, 1.0] {
+                        let s = query_success_with_loss(alpha, n, reports, loss);
+                        assert!((0.0..=1.0).contains(&s), "{s}");
+                        let avg = average_success_with_loss(alpha, n, reports, loss);
+                        assert!((-1e-9..=1.0 + 1e-9).contains(&avg), "{avg}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Numeric helpers: binomial coefficients and Simpson integration.
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for the small `n`
+/// used by the §4 formulas).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result = result * f64::from(n - i) / f64::from(i + 1);
+    }
+    result
+}
+
+/// Composite Simpson's rule over `[a, b]` with `panels` panels
+/// (rounded up to even).
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, panels: usize) -> f64 {
+    assert!(b >= a, "invalid interval");
+    if (b - a).abs() < f64::EPSILON {
+        return 0.0;
+    }
+    let n = if panels % 2 == 0 { panels } else { panels + 1 };
+    let h = (b - a) / n as f64;
+    let mut sum = f(a) + f(b);
+    for i in 1..n {
+        let x = a + h * i as f64;
+        sum += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 0), 1.0);
+        assert_eq!(binomial(4, 1), 4.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(4, 4), 1.0);
+        assert_eq!(binomial(4, 5), 0.0);
+        assert_eq!(binomial(10, 3), 120.0);
+    }
+
+    #[test]
+    fn binomial_symmetry() {
+        for n in 0..20u32 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn simpson_polynomial_exact() {
+        // Simpson is exact for cubics.
+        let integral = simpson(|x| x * x * x, 0.0, 2.0, 2);
+        assert!((integral - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simpson_exponential() {
+        let integral = simpson(|x| (-x).exp(), 0.0, 1.0, 128);
+        let exact = 1.0 - (-1.0f64).exp();
+        assert!((integral - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpson_empty_interval() {
+        assert_eq!(simpson(|x| x, 1.0, 1.0, 16), 0.0);
+    }
+
+    #[test]
+    fn simpson_odd_panels_rounded() {
+        let a = simpson(|x| x * x, 0.0, 1.0, 3);
+        assert!((a - 1.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based checks of the §4 formulas: probabilities stay in
+//! range, bounds stay ordered, monotonicity holds everywhere.
+
+use proptest::prelude::*;
+
+use dta_analysis::{
+    average_query_success, empty_return_ambiguity_lower, empty_return_ambiguity_upper,
+    empty_return_main, optimal_n, p_all_overwritten, p_slot_overwritten, query_success,
+    return_error_lower, return_error_upper, Params,
+};
+
+fn arb_alpha() -> impl Strategy<Value = f64> {
+    0.0f64..5.0
+}
+
+proptest! {
+    #[test]
+    fn probabilities_in_unit_interval(alpha in arb_alpha(), n in 1u32..=6, b in 0u32..=32) {
+        let p = Params::new(alpha, n, b);
+        for value in [
+            p_slot_overwritten(alpha, n),
+            p_all_overwritten(alpha, n),
+            query_success(alpha, n),
+            average_query_success(alpha, n),
+            empty_return_main(p),
+            empty_return_ambiguity_lower(p),
+            empty_return_ambiguity_upper(p),
+            return_error_lower(p),
+            return_error_upper(p),
+        ] {
+            // Tolerate f64 rounding (Simpson sums can land at 1 + 2ulp).
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&value), "{value} out of range");
+        }
+    }
+
+    #[test]
+    fn bounds_are_ordered(alpha in arb_alpha(), n in 1u32..=6, b in 0u32..=32) {
+        let p = Params::new(alpha, n, b);
+        prop_assert!(return_error_lower(p) <= return_error_upper(p) + 1e-12);
+        prop_assert!(
+            empty_return_ambiguity_lower(p) <= empty_return_ambiguity_upper(p) + 1e-12
+        );
+    }
+
+    #[test]
+    fn success_monotone_decreasing_in_alpha(a1 in arb_alpha(), a2 in arb_alpha(), n in 1u32..=6) {
+        let (lo, hi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        prop_assert!(query_success(lo, n) >= query_success(hi, n) - 1e-12);
+        prop_assert!(average_query_success(lo, n) >= average_query_success(hi, n) - 1e-12);
+    }
+
+    #[test]
+    fn error_bounds_shrink_with_checksum_width(alpha in arb_alpha(), n in 1u32..=6, b in 0u32..=30) {
+        let narrow = Params::new(alpha, n, b);
+        let wide = Params::new(alpha, n, b + 2);
+        prop_assert!(return_error_upper(wide) <= return_error_upper(narrow) + 1e-12);
+    }
+
+    #[test]
+    fn average_dominates_pointwise_oldest(alpha in 0.01f64..5.0, n in 1u32..=6) {
+        // The average over ages [0, α] is at least the success of the
+        // oldest key (age α), since success decreases with age.
+        prop_assert!(average_query_success(alpha, n) >= query_success(alpha, n) - 1e-9);
+    }
+
+    #[test]
+    fn optimal_n_is_among_candidates(alpha in arb_alpha()) {
+        let candidates = [1u32, 2, 3, 4];
+        prop_assert!(candidates.contains(&optimal_n(alpha, &candidates)));
+    }
+
+    #[test]
+    fn empty_and_error_cannot_exceed_all_overwritten(alpha in arb_alpha(), n in 1u32..=6, b in 1u32..=32) {
+        // Both failure modes require all originals gone.
+        let p = Params::new(alpha, n, b);
+        let ceiling = p_all_overwritten(alpha, n) + 1e-12;
+        prop_assert!(empty_return_main(p) <= ceiling);
+        prop_assert!(return_error_upper(p) <= ceiling);
+    }
+}

@@ -1,0 +1,144 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! adaptive vs fixed N, event filtering, native multi-write vs standard
+//! RDMA, and CRC vs Mix64 hashing in the full write path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dta_core::adaptive::{AdaptiveConfig, AdaptiveN};
+use dta_core::cas::{key_bytes, synthetic_value};
+use dta_core::config::DartConfig;
+use dta_core::hash::MappingKind;
+use dta_core::store::DartStore;
+use dta_rdma::verbs::RemoteEndpoint;
+use dta_switch::egress::{DartEgress, EgressConfig};
+use dta_switch::event_filter::EventFilter;
+use dta_switch::SwitchIdentity;
+use dta_wire::dart::{ChecksumWidth, SlotLayout};
+use dta_wire::roce::Psn;
+use dta_wire::{ethernet, ipv4};
+
+fn egress() -> DartEgress {
+    let mut egress = DartEgress::new(
+        SwitchIdentity::derived(1),
+        EgressConfig {
+            copies: 2,
+            slots: 1 << 16,
+            layout: SlotLayout {
+                checksum: ChecksumWidth::B32,
+                value_len: 20,
+            },
+            collectors: 1,
+            udp_src_port: 49152,
+        },
+        3,
+    )
+    .unwrap();
+    egress
+        .install_collector(
+            0,
+            RemoteEndpoint {
+                mac: ethernet::Address([2, 0, 0, 0, 0, 2]),
+                ip: ipv4::Address([10, 0, 0, 2]),
+                qpn: 0x100,
+                rkey: 0x1000,
+                base_va: 0,
+                region_len: 24 << 16,
+                start_psn: Psn::new(0),
+            },
+        )
+        .unwrap();
+    egress
+}
+
+fn bench_native_vs_standard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/report_crafting");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("two_writes", |b| {
+        let mut egress = egress();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = i.to_le_bytes();
+            let a = egress.craft_report_copy(&key, &[1; 20], 0).unwrap();
+            let b2 = egress.craft_report_copy(&key, &[1; 20], 1).unwrap();
+            black_box(a.frame.len() + b2.frame.len())
+        });
+    });
+    group.bench_function("one_multiwrite", |b| {
+        let mut egress = egress();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let key = i.to_le_bytes();
+            let report = egress.craft_multiwrite_report(&key, &[1; 20]).unwrap();
+            black_box(report.frame.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_event_filter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/event_filter");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("steady_stream", |b| {
+        let mut filter = EventFilter::new(1 << 14);
+        b.iter(|| {
+            for flow in 0..1024u32 {
+                black_box(filter.should_report(&flow.to_le_bytes(), b"stable"));
+            }
+        });
+    });
+    group.finish();
+}
+
+fn bench_hash_families_in_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/store_insert_hash");
+    group.throughput(Throughput::Elements(4096));
+    for (name, mapping) in [
+        ("crc", MappingKind::Crc),
+        ("mix64", MappingKind::Mix64 { seed: 5 }),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(name),
+            &mapping,
+            |b, &mapping| {
+                let config = DartConfig::builder()
+                    .slots(1 << 14)
+                    .copies(2)
+                    .mapping(mapping)
+                    .build()
+                    .unwrap();
+                let mut store = DartStore::new(config);
+                b.iter(|| {
+                    for i in 0..4096u64 {
+                        store
+                            .insert(&key_bytes(i), &synthetic_value(i, 20))
+                            .unwrap();
+                    }
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_adaptive_controller(c: &mut Criterion) {
+    c.bench_function("ablation/adaptive_observe", |b| {
+        let mut controller = AdaptiveN::new(AdaptiveConfig::default(), 2).unwrap();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(controller.observe((i % 30) as f64 * 0.1))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_native_vs_standard,
+    bench_event_filter,
+    bench_hash_families_in_store,
+    bench_adaptive_controller
+);
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Figure 1 bench: per-report cost of each collection stack.
+//!
+//! Measures packet I/O (socket-style vs DPDK-style), storage insertion
+//! (mini-Kafka vs mini-Confluo), and DART's full NIC receive path —
+//! whose cost represents the *NIC's* work, not collector CPU. The
+//! relative ordering reproduces Figure 1(b): storage ≫ poll-mode I/O.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use dta_collector::mini_confluo::MiniConfluo;
+use dta_collector::mini_kafka::{MiniKafka, TopicConfig};
+use dta_collector::rx::{DpdkRx, PacketRx, SocketRx};
+
+fn frames(n: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| {
+            let mut f = vec![0u8; len];
+            f[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            f
+        })
+        .collect()
+}
+
+fn bench_io(c: &mut Criterion) {
+    let batch = frames(1024, 64);
+    let mut group = c.benchmark_group("fig1b/io");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("socket_rx_64B", |b| {
+        let mut rx = SocketRx::new(1500);
+        b.iter(|| black_box(rx.receive_batch(black_box(&batch))));
+    });
+    group.bench_function("dpdk_rx_64B", |b| {
+        let mut rx = DpdkRx::new(1500, 32);
+        b.iter(|| black_box(rx.receive_batch(black_box(&batch))));
+    });
+    group.finish();
+}
+
+fn bench_storage(c: &mut Criterion) {
+    let batch = frames(1024, 64);
+    let mut group = c.benchmark_group("fig1b/storage");
+    group.throughput(Throughput::Elements(1024));
+
+    group.bench_function("kafka_produce_64B", |b| {
+        b.iter_batched(
+            || MiniKafka::new(TopicConfig::default()),
+            |mut kafka| {
+                for f in &batch {
+                    kafka.produce(&f[..14], f);
+                }
+                black_box(kafka.produced())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("confluo_insert_64B", |b| {
+        b.iter_batched(
+            MiniConfluo::default,
+            |mut confluo| {
+                for f in &batch {
+                    confluo.insert(f);
+                }
+                black_box(confluo.records())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_dart_nic(c: &mut Criterion) {
+    use dta_collector::DartCollector;
+    use dta_core::config::DartConfig;
+    use dta_core::hash::MappingKind;
+    use dta_core::hash::{AddressMapping, CrcMapping};
+    use dta_wire::roce::{BthRepr, Opcode, RethRepr, RoceRepr};
+
+    let config = DartConfig::builder()
+        .slots(1 << 12)
+        .copies(2)
+        .mapping(MappingKind::Crc)
+        .build()
+        .unwrap();
+    // Endpoints are deterministic per collector index, so frames crafted
+    // against one instance stay valid for fresh instances in the loop.
+    let ep = DartCollector::new(0, config.clone()).unwrap().endpoint();
+    let mapping = CrcMapping::new();
+
+    // Pre-craft 1024 distinct report frames.
+    let frames: Vec<Vec<u8>> = (0..1024u64)
+        .map(|i| {
+            let key = i.to_le_bytes();
+            let slot = mapping.slot(&key, (i % 2) as u8, config.slots);
+            let mut payload = vec![0u8; 24];
+            config
+                .layout
+                .encode(mapping.key_checksum(&key), &[7u8; 20], &mut payload)
+                .unwrap();
+            dta_rdma::nic::build_roce_frame(
+                dta_wire::ethernet::Address([2, 0, 0, 0, 0, 9]),
+                ep.mac,
+                dta_wire::ipv4::Address([10, 0, 0, 9]),
+                ep.ip,
+                49152,
+                &RoceRepr::Write {
+                    bth: BthRepr {
+                        opcode: Opcode::UcRdmaWriteOnly,
+                        solicited: false,
+                        migration: true,
+                        pad_count: 0,
+                        partition_key: 0xFFFF,
+                        dest_qp: ep.qpn,
+                        ack_request: false,
+                        psn: i as u32,
+                    },
+                    reth: RethRepr {
+                        virtual_addr: ep.base_va + slot * 24,
+                        rkey: ep.rkey,
+                        dma_len: 24,
+                    },
+                    payload,
+                },
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fig1b/dart");
+    group.throughput(Throughput::Elements(1024));
+    group.bench_function("rnic_receive_64B_reports", |b| {
+        // Fresh collector per batch: replaying the same PSNs into one QP
+        // would be (correctly) dropped as duplicates.
+        b.iter_batched(
+            || DartCollector::new(0, config.clone()).unwrap(),
+            |mut collector| {
+                for f in &frames {
+                    black_box(collector.receive_frame(black_box(f)));
+                }
+                collector
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_io, bench_storage, bench_dart_nic);
+criterion_main!(benches);

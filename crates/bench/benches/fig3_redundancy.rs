@@ -1,0 +1,87 @@
+//! Figure 3 bench: store write/query cost as redundancy N varies, plus
+//! a micro-run of the Figure 3 sweep kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use dta_bench::storesim::{run, StoreSimParams};
+use dta_core::cas::{key_bytes, synthetic_value};
+use dta_core::config::DartConfig;
+use dta_core::hash::MappingKind;
+use dta_core::store::DartStore;
+
+fn bench_insert_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/insert");
+    group.throughput(Throughput::Elements(4096));
+    for n in [1u8, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = DartConfig::builder()
+                .slots(1 << 14)
+                .copies(n)
+                .mapping(MappingKind::Mix64 { seed: 7 })
+                .build()
+                .unwrap();
+            let mut store = DartStore::new(config);
+            b.iter(|| {
+                for i in 0..4096u64 {
+                    store
+                        .insert(black_box(&key_bytes(i)), black_box(&synthetic_value(i, 20)))
+                        .unwrap();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_by_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/query");
+    group.throughput(Throughput::Elements(4096));
+    for n in [1u8, 2, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let config = DartConfig::builder()
+                .slots(1 << 14)
+                .copies(n)
+                .mapping(MappingKind::Mix64 { seed: 7 })
+                .build()
+                .unwrap();
+            let mut store = DartStore::new(config);
+            for i in 0..4096u64 {
+                store
+                    .insert(&key_bytes(i), &synthetic_value(i, 20))
+                    .unwrap();
+            }
+            b.iter(|| {
+                for i in 0..4096u64 {
+                    black_box(store.query(black_box(&key_bytes(i))));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sweep_kernel(c: &mut Criterion) {
+    // One (α, N) point of the Figure 3 sweep at reduced size.
+    c.bench_function("fig3/sweep_point_alpha1_n2", |b| {
+        b.iter(|| {
+            black_box(run(
+                StoreSimParams {
+                    slots: 1 << 12,
+                    keys: 1 << 12,
+                    copies: 2,
+                    ..StoreSimParams::default()
+                },
+                1,
+            ))
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_insert_by_n,
+    bench_query_by_n,
+    bench_sweep_kernel
+);
+criterion_main!(benches);

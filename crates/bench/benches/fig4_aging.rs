@@ -1,0 +1,24 @@
+//! Figure 4 bench: the aging-curve kernel at the paper's byte budgets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dta_bench::fig4::run_curve;
+
+fn bench_curves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4/curve");
+    group.sample_size(10);
+    for bytes_per_flow in [30u64, 100, 300] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(bytes_per_flow),
+            &bytes_per_flow,
+            |b, &bpf| {
+                b.iter(|| black_box(run_curve(1 << 14, bpf, 2, 10, 4)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 5 bench: error-rate measurement kernel per checksum width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use dta_bench::storesim::{run, StoreSimParams};
+use dta_core::query::ReturnPolicy;
+use dta_wire::dart::ChecksumWidth;
+
+fn bench_by_checksum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5/checksum");
+    group.sample_size(10);
+    for (name, width) in [
+        ("b0", ChecksumWidth::None),
+        ("b8", ChecksumWidth::B8),
+        ("b16", ChecksumWidth::B16),
+        ("b32", ChecksumWidth::B32),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &width, |b, &w| {
+            b.iter(|| {
+                black_box(run(
+                    StoreSimParams {
+                        slots: 1 << 13,
+                        keys: 1 << 14, // alpha = 2
+                        checksum: w,
+                        policy: ReturnPolicy::FirstMatch,
+                        ..StoreSimParams::default()
+                    },
+                    1,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_checksum);
+criterion_main!(benches);

@@ -1,0 +1,287 @@
+//! Figure 1: the CPU cost of conventional collection.
+//!
+//! (a) CPU cores required for *pure packet I/O* as the switch count
+//! grows, per report size and event sampling rate — the paper's
+//! "thousands of CPU cores dedicated to simple packet I/O".
+//!
+//! (b) The cycle breakdown of I/O vs storage for 100 M reports —
+//! socket+Kafka vs DPDK+Confluo vs DART — using the paper's published
+//! constants, *plus* a live measurement of the executable mini-baselines
+//! so the ordering is demonstrated, not just quoted.
+
+use std::time::Instant;
+
+use dta_collector::cycles::{self, ReportSize};
+use dta_collector::mini_confluo::MiniConfluo;
+use dta_collector::mini_kafka::{MiniKafka, TopicConfig};
+use dta_collector::rx::{DpdkRx, PacketRx, SocketRx};
+
+use crate::report::{eng, table};
+
+/// One Figure 1(a) row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1aRow {
+    /// Number of switches.
+    pub switches: u64,
+    /// Event sampling rate.
+    pub sampling: f64,
+    /// Cores for 64-byte reports.
+    pub cores_64: f64,
+    /// Cores for 128-byte reports.
+    pub cores_128: f64,
+}
+
+/// Compute the Figure 1(a) sweep.
+pub fn fig1a() -> Vec<Fig1aRow> {
+    let mut rows = Vec::new();
+    for &switches in &[100u64, 1_000, 10_000, 50_000, 100_000] {
+        for &sampling in &[0.01, 0.1, 1.0] {
+            rows.push(Fig1aRow {
+                switches,
+                sampling,
+                cores_64: cycles::fig1a_cores_for_io(switches, sampling, ReportSize::B64),
+                cores_128: cycles::fig1a_cores_for_io(switches, sampling, ReportSize::B128),
+            });
+        }
+    }
+    rows
+}
+
+/// Render Figure 1(a).
+pub fn fig1a_table() -> String {
+    let rows: Vec<Vec<String>> = fig1a()
+        .iter()
+        .map(|r| {
+            vec![
+                r.switches.to_string(),
+                format!("{:.0}%", r.sampling * 100.0),
+                format!("{:.1}", r.cores_64),
+                format!("{:.1}", r.cores_128),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 1(a) — CPU cores for pure DPDK packet I/O",
+        &["switches", "sampling", "cores @64B", "cores @128B"],
+        &rows,
+    )
+}
+
+/// The synthesis the paper argues toward: hardware needed for full
+/// collection (I/O **and** queryable storage) at 10k–100k switches —
+/// CPU cores for the conventional stacks vs RNIC capacity for DART.
+pub fn capacity_table() -> String {
+    let mut rows = Vec::new();
+    for &switches in &[10_000u64, 100_000] {
+        let socket_kafka_cores = cycles::cores_for_cycles(
+            switches,
+            1.0,
+            cycles::SOCKET_IO_CYCLES_PER_REPORT * (1.0 + cycles::KAFKA_STORAGE_MULTIPLIER),
+        );
+        let dpdk_confluo_cores = cycles::cores_for_cycles(
+            switches,
+            1.0,
+            cycles::DPDK_IO_CYCLES_PER_REPORT * (1.0 + cycles::CONFLUO_STORAGE_MULTIPLIER),
+        );
+        let dart_nics = cycles::dart_nics_needed(switches, 1.0, 2);
+        rows.push(vec![
+            switches.to_string(),
+            format!("{:.0} cores", socket_kafka_cores),
+            format!("{:.0} cores", dpdk_confluo_cores),
+            format!("{:.0} RNICs (N=2)", dart_nics.ceil()),
+        ]);
+    }
+    table(
+        "Collection hardware at full event rate — CPU stacks vs DART",
+        &["switches", "sockets+Kafka", "DPDK+Confluo", "DART"],
+        &rows,
+    )
+}
+
+/// One Figure 1(b) bar (paper constants).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1bRow {
+    /// Stack name.
+    pub stack: &'static str,
+    /// I/O cycles for 100 M reports.
+    pub io_cycles: f64,
+    /// Storage cycles for 100 M reports.
+    pub storage_cycles: f64,
+}
+
+/// The Figure 1(b) bars from the paper's constants.
+pub fn fig1b_paper() -> Vec<Fig1bRow> {
+    let sk = cycles::socket_kafka(cycles::FIG1B_REPORTS);
+    let dc = cycles::dpdk_confluo(cycles::FIG1B_REPORTS);
+    let dart = cycles::dart(cycles::FIG1B_REPORTS);
+    vec![
+        Fig1bRow {
+            stack: "sockets + Kafka",
+            io_cycles: sk.io_cycles,
+            storage_cycles: sk.storage_cycles,
+        },
+        Fig1bRow {
+            stack: "DPDK + Confluo",
+            io_cycles: dc.io_cycles,
+            storage_cycles: dc.storage_cycles,
+        },
+        Fig1bRow {
+            stack: "DART (this work)",
+            io_cycles: dart.io_cycles,
+            storage_cycles: dart.storage_cycles,
+        },
+    ]
+}
+
+/// Live measurement of the mini-baselines (per-report nanoseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredRow {
+    /// Stage name.
+    pub stage: &'static str,
+    /// Average nanoseconds per report.
+    pub ns_per_report: f64,
+}
+
+/// Measure the executable baselines over `reports` synthetic reports of
+/// `size` bytes. Returns per-stage per-report costs.
+pub fn fig1b_measured(reports: usize, size: ReportSize) -> Vec<MeasuredRow> {
+    let frames: Vec<Vec<u8>> = (0..reports)
+        .map(|i| {
+            let mut f = vec![0u8; size.bytes()];
+            f[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            f
+        })
+        .collect();
+
+    let mut out = Vec::new();
+
+    let mut socket = SocketRx::new(1500);
+    let t = Instant::now();
+    socket.receive_batch(&frames);
+    out.push(MeasuredRow {
+        stage: "socket I/O",
+        ns_per_report: t.elapsed().as_nanos() as f64 / reports as f64,
+    });
+
+    let mut dpdk = DpdkRx::new(1500, 32);
+    let t = Instant::now();
+    dpdk.receive_batch(&frames);
+    out.push(MeasuredRow {
+        stage: "DPDK I/O",
+        ns_per_report: t.elapsed().as_nanos() as f64 / reports as f64,
+    });
+
+    let mut kafka = MiniKafka::new(TopicConfig::default());
+    let t = Instant::now();
+    for f in &frames {
+        kafka.produce(&f[..14.min(f.len())], f);
+    }
+    out.push(MeasuredRow {
+        stage: "Kafka storage",
+        ns_per_report: t.elapsed().as_nanos() as f64 / reports as f64,
+    });
+
+    let mut confluo = MiniConfluo::default();
+    let t = Instant::now();
+    for f in &frames {
+        confluo.insert(f);
+    }
+    out.push(MeasuredRow {
+        stage: "Confluo storage",
+        ns_per_report: t.elapsed().as_nanos() as f64 / reports as f64,
+    });
+
+    out
+}
+
+/// Render Figure 1(b): paper constants + live measurement.
+pub fn fig1b_table(measured_reports: usize) -> String {
+    let mut out = String::new();
+    let rows: Vec<Vec<String>> = fig1b_paper()
+        .iter()
+        .map(|r| {
+            vec![
+                r.stack.to_string(),
+                eng(r.io_cycles),
+                eng(r.storage_cycles),
+                eng(r.io_cycles + r.storage_cycles),
+            ]
+        })
+        .collect();
+    out.push_str(&table(
+        "Figure 1(b) — cycles for 100M reports (paper constants)",
+        &["stack", "packet I/O", "storage", "total"],
+        &rows,
+    ));
+
+    let measured = fig1b_measured(measured_reports, ReportSize::B64);
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|r| {
+            vec![
+                r.stage.to_string(),
+                format!("{:.0}", r.ns_per_report),
+                eng(r.ns_per_report * cycles::CLOCK_HZ / 1e9),
+            ]
+        })
+        .collect();
+    out.push_str(&table(
+        "Figure 1(b) — measured mini-baselines (64B reports, this machine)",
+        &["stage", "ns/report", "≈cycles/report @3GHz"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1a_shape() {
+        let rows = fig1a();
+        assert_eq!(rows.len(), 15);
+        // Paper claim: 10k switches at full rate needs hundreds+ of cores.
+        let full = rows
+            .iter()
+            .find(|r| r.switches == 10_000 && r.sampling == 1.0)
+            .unwrap();
+        assert!(full.cores_64 > 500.0);
+        // 128B reports need at least as many cores as 64B at equal pps.
+        for r in &rows {
+            assert!(r.cores_128 >= r.cores_64);
+        }
+    }
+
+    #[test]
+    fn fig1b_paper_ordering() {
+        let rows = fig1b_paper();
+        assert!(rows[0].storage_cycles > rows[0].io_cycles * 10.0);
+        assert!(rows[1].storage_cycles > rows[1].io_cycles * 100.0);
+        assert_eq!(rows[2].io_cycles + rows[2].storage_cycles, 0.0);
+    }
+
+    #[test]
+    fn measured_ordering_holds() {
+        // The live mini-baselines must reproduce the *shape*: socket I/O
+        // slower than DPDK I/O; storage slower than DPDK I/O.
+        let m = fig1b_measured(20_000, ReportSize::B64);
+        let find = |s: &str| m.iter().find(|r| r.stage == s).unwrap().ns_per_report;
+        assert!(
+            find("socket I/O") > find("DPDK I/O"),
+            "socket {} vs dpdk {}",
+            find("socket I/O"),
+            find("DPDK I/O")
+        );
+        assert!(
+            find("Confluo storage") > find("DPDK I/O"),
+            "storage must dominate poll-mode I/O"
+        );
+    }
+
+    #[test]
+    fn tables_render() {
+        assert!(fig1a_table().contains("cores @64B"));
+        assert!(fig1b_table(5_000).contains("Kafka"));
+    }
+}

@@ -1,0 +1,146 @@
+//! Figure 5: the probability of returning a *wrong* answer.
+//!
+//! Return errors need a double collision — slot address *and* checksum —
+//! so their probability falls geometrically with the checksum width.
+//! The sweep measures observed error rates at several storage budgets
+//! for b ∈ {0, 8, 16, 32} under the error-prone `FirstMatch` policy
+//! (worst case) and overlays the §4 bounds. As in the paper, 32-bit
+//! checksums produce no observable errors at simulable scales.
+
+use dta_core::config::WriteStrategy;
+use dta_core::query::ReturnPolicy;
+use dta_wire::dart::ChecksumWidth;
+
+use crate::report::{pct3, table};
+use crate::storesim::{run, StoreSimParams};
+use crate::Scale;
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Point {
+    /// Load factor.
+    pub alpha: f64,
+    /// Checksum width in bits.
+    pub bits: u32,
+    /// Observed wrong-answer rate.
+    pub observed: f64,
+    /// §4 lower bound.
+    pub bound_lower: f64,
+    /// §4 upper bound.
+    pub bound_upper: f64,
+}
+
+fn width(bits: u32) -> ChecksumWidth {
+    match bits {
+        0 => ChecksumWidth::None,
+        8 => ChecksumWidth::B8,
+        16 => ChecksumWidth::B16,
+        _ => ChecksumWidth::B32,
+    }
+}
+
+/// Run the sweep: α ∈ {0.5, 1, 2, 4} × b ∈ {0, 8, 16, 32}.
+pub fn run_fig5(scale: Scale, seed: u64) -> Vec<Fig5Point> {
+    let mut points = Vec::new();
+    for &alpha in &[0.5f64, 1.0, 2.0, 4.0] {
+        let slots = ((scale.keys() as f64 / alpha) as u64).next_power_of_two();
+        let keys = (alpha * slots as f64) as u64;
+        for &bits in &[0u32, 8, 16, 32] {
+            let result = run(
+                StoreSimParams {
+                    slots,
+                    keys,
+                    copies: 2,
+                    checksum: width(bits),
+                    policy: ReturnPolicy::FirstMatch,
+                    strategy: WriteStrategy::AllSlots,
+                    seed: seed ^ u64::from(bits) << 40 ^ keys,
+                },
+                1,
+            );
+            // The §4 bounds are written for a key at age α; the sweep
+            // queries all ages, so the *average over ages* bounds the
+            // aggregate. We report the point bounds at the mean age α/2
+            // (lower) and at full age α (upper) — generous but honest.
+            let p_low = dta_analysis::Params::new(alpha / 2.0, 2, bits);
+            let p_high = dta_analysis::Params::new(alpha, 2, bits);
+            points.push(Fig5Point {
+                alpha,
+                bits,
+                observed: result.error_rate(),
+                bound_lower: dta_analysis::return_error_lower(p_low),
+                bound_upper: dta_analysis::return_error_upper(p_high),
+            });
+        }
+    }
+    points
+}
+
+/// Render the sweep.
+pub fn fig5_table(points: &[Fig5Point]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.2}", p.alpha),
+                p.bits.to_string(),
+                pct3(p.observed),
+                pct3(p.bound_upper),
+            ]
+        })
+        .collect();
+    table(
+        "Figure 5 — wrong-answer probability (FirstMatch, N=2)",
+        &["load α", "checksum bits", "observed", "§4 upper bound"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep() -> Vec<Fig5Point> {
+        run_fig5(Scale(1), 0xF165)
+    }
+
+    #[test]
+    fn checksums_suppress_errors_geometrically() {
+        let points = sweep();
+        for &alpha in &[2.0, 4.0] {
+            let get = |bits: u32| {
+                points
+                    .iter()
+                    .find(|p| p.alpha == alpha && p.bits == bits)
+                    .unwrap()
+                    .observed
+            };
+            assert!(get(0) > 0.01, "b=0 must err under load, got {}", get(0));
+            assert!(get(8) < get(0) / 10.0, "8-bit checksum must slash errors");
+            assert!(get(16) <= get(8), "wider checksum can only help");
+            // §5.3: 32-bit checksums produce no observable errors.
+            assert_eq!(get(32), 0.0, "32-bit checksums should be error-free");
+        }
+    }
+
+    #[test]
+    fn observed_within_upper_bound() {
+        for p in sweep() {
+            if p.bits > 0 {
+                assert!(
+                    p.observed <= p.bound_upper * 1.5 + 1e-4,
+                    "α={} b={}: observed {} above bound {}",
+                    p.alpha,
+                    p.bits,
+                    p.observed,
+                    p.bound_upper
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        assert!(fig5_table(&sweep()).contains("checksum bits"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Table formatting for the `repro` harness.
+
+/// Render a markdown-style table to a string.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n## {title}\n\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    sep.push('\n');
+    out.push_str(&sep);
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Format a probability as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a probability with more precision.
+pub fn pct3(x: f64) -> String {
+    format!("{:.3}%", x * 100.0)
+}
+
+/// Format a float in engineering style.
+pub fn eng(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    let abs = x.abs();
+    if abs >= 1e12 {
+        format!("{:.1}T", x / 1e12)
+    } else if abs >= 1e9 {
+        format!("{:.1}G", x / 1e9)
+    } else if abs >= 1e6 {
+        format!("{:.1}M", x / 1e6)
+    } else if abs >= 1e3 {
+        format!("{:.1}k", x / 1e3)
+    } else if abs >= 0.01 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let out = table(
+            "Demo",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+        assert!(out.contains("## Demo"));
+        assert!(out.contains("| a   | long-header |"));
+        assert!(out.contains("| 333 | 4           |"));
+    }
+
+    #[test]
+    fn formats() {
+        assert_eq!(pct(0.999), "99.9%");
+        assert_eq!(pct3(0.99987), "99.987%");
+        assert_eq!(eng(0.0), "0");
+        assert_eq!(eng(5040.0), "5.0k");
+        assert_eq!(eng(14e9), "14.0G");
+        assert_eq!(eng(5.796e12), "5.8T");
+        assert_eq!(eng(0.5), "0.50");
+        assert!(eng(1e-6).contains('e'));
+    }
+}

@@ -1,0 +1,227 @@
+//! §4 validation: targeted Monte-Carlo vs the closed forms.
+//!
+//! The §4 formulas describe a *single key of known age*: it was written,
+//! then `K = αM` distinct other keys were written, then it is queried.
+//! This module reproduces exactly that experiment — many victim keys,
+//! then exactly `K` updates, then query all victims — and compares the
+//! observed empty-return and return-error frequencies against the
+//! formulas and bounds.
+
+use dta_analysis::Params;
+use dta_core::cas::synthetic_value;
+use dta_core::config::DartConfig;
+use dta_core::hash::MappingKind;
+use dta_core::query::{classify, QueryClass, ReturnPolicy};
+use dta_core::store::DartStore;
+use dta_wire::dart::ChecksumWidth;
+
+use crate::report::{pct3, table};
+
+/// One validation point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TheoryPoint {
+    /// Load since the victims were written.
+    pub alpha: f64,
+    /// Redundancy.
+    pub n: u8,
+    /// Checksum bits.
+    pub bits: u32,
+    /// Observed empty-return rate.
+    pub empty_observed: f64,
+    /// Predicted dominant empty-return term.
+    pub empty_predicted: f64,
+    /// Observed return-error rate.
+    pub error_observed: f64,
+    /// §4 return-error lower bound.
+    pub error_lower: f64,
+    /// §4 return-error upper bound.
+    pub error_upper: f64,
+}
+
+fn width(bits: u32) -> ChecksumWidth {
+    match bits {
+        0 => ChecksumWidth::None,
+        8 => ChecksumWidth::B8,
+        16 => ChecksumWidth::B16,
+        _ => ChecksumWidth::B32,
+    }
+}
+
+/// Run the targeted experiment.
+///
+/// `victims` keys are written first, then `α·M` updates of distinct other
+/// keys. Victim `i` is also aged by its `victims − 1 − i` younger
+/// siblings, so predictions are evaluated at the *effective* mean age
+/// `α_eff = α + victims / (2·M)`. Queries use the paper's introductory
+/// `UniqueValue` return rule, which §4 analyses.
+pub fn run_point(alpha: f64, n: u8, bits: u32, slots: u64, victims: u64, seed: u64) -> TheoryPoint {
+    let config = DartConfig::builder()
+        .slots(slots)
+        .copies(n)
+        .checksum(width(bits))
+        .value_len(20)
+        .mapping(MappingKind::Mix64 { seed })
+        .policy(ReturnPolicy::UniqueValue)
+        .build()
+        .expect("valid parameters");
+    let mut store = DartStore::new(config);
+
+    // Victims use a disjoint key namespace (high bit set).
+    let victim_key = |i: u64| (i | 1 << 63).to_le_bytes();
+    for i in 0..victims {
+        store
+            .insert(&victim_key(i), &synthetic_value(i | 1 << 62, 20))
+            .unwrap();
+    }
+    let updates = (alpha * slots as f64).round() as u64;
+    for i in 0..updates {
+        store
+            .insert(&i.to_le_bytes(), &synthetic_value(i, 20))
+            .unwrap();
+    }
+
+    let mut empty = 0u64;
+    let mut error = 0u64;
+    for i in 0..victims {
+        let outcome = store.query(&victim_key(i));
+        match classify(&outcome, &synthetic_value(i | 1 << 62, 20)) {
+            QueryClass::Correct => {}
+            QueryClass::EmptyReturn => empty += 1,
+            QueryClass::ReturnError => error += 1,
+        }
+    }
+
+    // Victim i is aged by α·M updates plus its `victims − 1 − i` younger
+    // siblings, so ages span [α, α + victims/M]. The formulas are convex
+    // in α over these ranges, so predictions must *average over ages*
+    // rather than evaluate at the mean age (Jensen's gap is several
+    // percentage points when victims ≈ M).
+    let span = victims as f64 / slots as f64;
+    let avg = |f: &dyn Fn(Params) -> f64| -> f64 {
+        if span < 1e-9 {
+            return f(Params::new(alpha, u32::from(n), bits));
+        }
+        dta_analysis::math::simpson(
+            |a| f(Params::new(a, u32::from(n), bits)),
+            alpha,
+            alpha + span,
+            64,
+        ) / span
+    };
+    TheoryPoint {
+        alpha,
+        n,
+        bits,
+        empty_observed: empty as f64 / victims as f64,
+        empty_predicted: avg(&|p| {
+            dta_analysis::empty_return_main(p) + dta_analysis::empty_return_ambiguity_lower(p)
+        }),
+        error_observed: error as f64 / victims as f64,
+        error_lower: avg(&dta_analysis::return_error_lower),
+        error_upper: avg(&dta_analysis::return_error_upper),
+    }
+}
+
+/// The standard validation grid.
+pub fn run_grid(slots: u64, victims: u64, seed: u64) -> Vec<TheoryPoint> {
+    let mut points = Vec::new();
+    for &alpha in &[0.5f64, 1.0, 2.0] {
+        for &n in &[1u8, 2, 4] {
+            for &bits in &[8u32, 16] {
+                points.push(run_point(alpha, n, bits, slots, victims, seed ^ n as u64));
+            }
+        }
+    }
+    points
+}
+
+/// Render the grid.
+pub fn theory_table(points: &[TheoryPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.alpha),
+                p.n.to_string(),
+                p.bits.to_string(),
+                pct3(p.empty_observed),
+                pct3(p.empty_predicted),
+                pct3(p.error_observed),
+                format!("[{}, {}]", pct3(p.error_lower), pct3(p.error_upper)),
+            ]
+        })
+        .collect();
+    table(
+        "§4 validation — observed vs closed form (UniqueValue policy)",
+        &[
+            "α",
+            "N",
+            "b",
+            "empty obs",
+            "empty theory",
+            "error obs",
+            "error bounds",
+        ],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_returns_match_formula() {
+        // α=1, N=2, b=8: the dominant term dominates; 20k victims give
+        // ±1% confidence.
+        let p = run_point(1.0, 2, 8, 1 << 16, 20_000, 42);
+        assert!(
+            (p.empty_observed - p.empty_predicted).abs() < 0.015,
+            "observed {} vs predicted {}",
+            p.empty_observed,
+            p.empty_predicted
+        );
+    }
+
+    #[test]
+    fn error_rate_within_bounds() {
+        // b=8 makes errors frequent enough to measure.
+        let p = run_point(2.0, 2, 8, 1 << 15, 50_000, 43);
+        assert!(
+            p.error_observed >= p.error_lower * 0.5,
+            "observed {} below lower bound {}",
+            p.error_observed,
+            p.error_lower
+        );
+        assert!(
+            p.error_observed <= p.error_upper * 1.5 + 1e-4,
+            "observed {} above upper bound {}",
+            p.error_observed,
+            p.error_upper
+        );
+    }
+
+    #[test]
+    fn n1_formula_sanity() {
+        // For N=1, empty = (1-e^{-α_eff})(1-2^{-b}) and errors
+        // = (1-e^{-α_eff})·2^{-b} (single slot, single occupant).
+        let (slots, victims) = (1u64 << 16, 20_000u64);
+        let p = run_point(1.0, 1, 8, slots, victims, 44);
+        let alpha_eff = 1.0 + victims as f64 / (2.0 * slots as f64);
+        let overwritten = 1.0 - (-alpha_eff).exp();
+        assert!(
+            (p.empty_observed - overwritten * (255.0 / 256.0)).abs() < 0.02,
+            "observed {} vs hand formula {}",
+            p.empty_observed,
+            overwritten * (255.0 / 256.0)
+        );
+        assert!(p.error_observed < 0.01);
+    }
+
+    #[test]
+    fn grid_runs_and_renders() {
+        let grid = run_grid(1 << 12, 1_000, 7);
+        assert_eq!(grid.len(), 18);
+        assert!(theory_table(&grid).contains("error bounds"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The §2 / Figure 1 CPU-cost model.
+//!
+//! Figure 1 of the paper is an *argument by arithmetic* built on published
+//! numbers; this module encodes those numbers and the arithmetic so the
+//! figure can be regenerated (and perturbed):
+//!
+//! * Figure 1(a): CPU cores needed for *pure packet I/O* with the DPDK
+//!   poll-mode driver, from the official DPDK NIC performance report's
+//!   per-core forwarding rates, against the event rates of 6.5 Tbps
+//!   switches (a few million reports per second per switch, after
+//!   on-switch event filtering).
+//! * Figure 1(b): CPU cycles to receive **and store** 100 M reports —
+//!   socket I/O ≈ 504 G cycles, Kafka storage ≈ 11.5× that; DPDK I/O ≈
+//!   14 G cycles (2.7 % of sockets), Confluo storage ≈ 114× the DPDK I/O.
+//!
+//! The executable mini-baselines in [`crate::rx`], [`crate::mini_kafka`]
+//! and [`crate::mini_confluo`] measure the same *shape* live; this module
+//! is the paper-faithful headline arithmetic.
+
+/// Reports the paper's Figure 1(b) normalizes to.
+pub const FIG1B_REPORTS: u64 = 100_000_000;
+
+/// Socket-based packet I/O: 504 billion cycles per 100 M reports.
+pub const SOCKET_IO_CYCLES_PER_REPORT: f64 = 504e9 / FIG1B_REPORTS as f64; // 5040
+
+/// Kafka storage costs 11.5× as many cycles *again* as socket I/O (§2).
+pub const KAFKA_STORAGE_MULTIPLIER: f64 = 11.5;
+
+/// DPDK PMD packet I/O: 14 billion cycles per 100 M reports (2.7 % of
+/// the socket cost).
+pub const DPDK_IO_CYCLES_PER_REPORT: f64 = 14e9 / FIG1B_REPORTS as f64; // 140
+
+/// Confluo insertion costs 114× as many cycles as DPDK packet I/O (§2).
+pub const CONFLUO_STORAGE_MULTIPLIER: f64 = 114.0;
+
+/// Per-core DPDK PMD forwarding rate at 64-byte frames (Mpps), from the
+/// DPDK 20.11 Intel NIC performance report (100 GbE, vector PMD).
+pub const DPDK_MPPS_PER_CORE_64B: f64 = 36.0;
+
+/// Per-core DPDK PMD forwarding rate at 128-byte frames (Mpps).
+pub const DPDK_MPPS_PER_CORE_128B: f64 = 30.0;
+
+/// Telemetry event rate of a 6.5 Tbps switch after on-switch event
+/// filtering (reports/second) — "a few million" (§2, citing FlowEvent).
+pub const EVENTS_PER_SWITCH_PER_S: f64 = 2.0e6;
+
+/// A generic collector-side CPU clock (cycles/second).
+pub const CLOCK_HZ: f64 = 3.0e9;
+
+/// Message rate of a DART collector's RDMA NIC (§2: "Current
+/// RDMA-capable network cards are capable of processing more than 200
+/// million messages per second").
+pub const RNIC_MESSAGES_PER_S: f64 = 200.0e6;
+
+/// Collector *machines* needed when each contributes one RNIC absorbing
+/// [`RNIC_MESSAGES_PER_S`] — DART's answer to Figure 1(a)'s core counts.
+/// `copies` multiplies the report rate (N RDMA WRITEs per report).
+pub fn dart_nics_needed(switches: u64, sampling: f64, copies: u8) -> f64 {
+    let pps = switches as f64 * EVENTS_PER_SWITCH_PER_S * sampling * f64::from(copies);
+    pps / RNIC_MESSAGES_PER_S
+}
+
+/// Report sizes Figure 1 uses (bytes on the wire, headers included).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportSize {
+    /// 64-byte reports (36 B of report data + 28 B headers).
+    B64,
+    /// 128-byte reports (100 B of report data + 28 B headers).
+    B128,
+}
+
+impl ReportSize {
+    /// Bytes on the wire.
+    pub const fn bytes(self) -> usize {
+        match self {
+            ReportSize::B64 => 64,
+            ReportSize::B128 => 128,
+        }
+    }
+
+    /// Report data bytes (without the 28-byte header overhead).
+    pub const fn data_bytes(self) -> usize {
+        match self {
+            ReportSize::B64 => 36,
+            ReportSize::B128 => 100,
+        }
+    }
+
+    /// Per-core DPDK I/O rate for this size (packets/second).
+    pub fn dpdk_pps_per_core(self) -> f64 {
+        match self {
+            ReportSize::B64 => DPDK_MPPS_PER_CORE_64B * 1e6,
+            ReportSize::B128 => DPDK_MPPS_PER_CORE_128B * 1e6,
+        }
+    }
+}
+
+/// Figure 1(a): CPU cores needed for pure DPDK packet I/O when
+/// `switches` switches each emit [`EVENTS_PER_SWITCH_PER_S`] × `sampling`
+/// reports per second of `size`-byte reports.
+pub fn fig1a_cores_for_io(switches: u64, sampling: f64, size: ReportSize) -> f64 {
+    let pps = switches as f64 * EVENTS_PER_SWITCH_PER_S * sampling;
+    pps / size.dpdk_pps_per_core()
+}
+
+/// Cores needed when each report costs `cycles_per_report` on a
+/// [`CLOCK_HZ`] CPU.
+pub fn cores_for_cycles(switches: u64, sampling: f64, cycles_per_report: f64) -> f64 {
+    let pps = switches as f64 * EVENTS_PER_SWITCH_PER_S * sampling;
+    pps * cycles_per_report / CLOCK_HZ
+}
+
+/// Figure 1(b) bar: total cycles for `reports` reports through a stack.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CycleBreakdown {
+    /// Cycles spent on packet I/O.
+    pub io_cycles: f64,
+    /// Cycles spent on storage insertion.
+    pub storage_cycles: f64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles.
+    pub fn total(&self) -> f64 {
+        self.io_cycles + self.storage_cycles
+    }
+}
+
+/// The socket + Kafka stack for `reports` reports.
+pub fn socket_kafka(reports: u64) -> CycleBreakdown {
+    let io = SOCKET_IO_CYCLES_PER_REPORT * reports as f64;
+    CycleBreakdown {
+        io_cycles: io,
+        storage_cycles: io * KAFKA_STORAGE_MULTIPLIER,
+    }
+}
+
+/// The DPDK + Confluo stack for `reports` reports.
+pub fn dpdk_confluo(reports: u64) -> CycleBreakdown {
+    let io = DPDK_IO_CYCLES_PER_REPORT * reports as f64;
+    CycleBreakdown {
+        io_cycles: io,
+        storage_cycles: io * CONFLUO_STORAGE_MULTIPLIER,
+    }
+}
+
+/// DART's collector-CPU cost for report *insertion*: zero, by
+/// construction — the NIC writes memory directly.
+pub fn dart(_reports: u64) -> CycleBreakdown {
+    CycleBreakdown {
+        io_cycles: 0.0,
+        storage_cycles: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        assert!((SOCKET_IO_CYCLES_PER_REPORT - 5040.0).abs() < 1e-9);
+        assert!((DPDK_IO_CYCLES_PER_REPORT - 140.0).abs() < 1e-9);
+        // "only 2.7% as much work as sockets"
+        let ratio = DPDK_IO_CYCLES_PER_REPORT / SOCKET_IO_CYCLES_PER_REPORT;
+        assert!((ratio - 0.027).abs() < 0.002, "ratio {ratio}");
+    }
+
+    #[test]
+    fn fig1b_headline_numbers() {
+        let sk = socket_kafka(FIG1B_REPORTS);
+        assert!((sk.io_cycles - 504e9).abs() / 504e9 < 1e-12);
+        assert!((sk.storage_cycles / sk.io_cycles - 11.5).abs() < 1e-9);
+
+        let dc = dpdk_confluo(FIG1B_REPORTS);
+        assert!((dc.io_cycles - 14e9).abs() / 14e9 < 1e-12);
+        // "an astounding 114x as many CPU cycles as the costly packet I/O"
+        assert!((dc.storage_cycles / dc.io_cycles - 114.0).abs() < 1e-9);
+
+        // The central §2 ordering: storage ≫ I/O, both stacks.
+        assert!(sk.storage_cycles > 10.0 * sk.io_cycles);
+        assert!(dc.storage_cycles > 100.0 * dc.io_cycles);
+        assert_eq!(dart(FIG1B_REPORTS).total(), 0.0);
+    }
+
+    #[test]
+    fn fig1a_thousands_of_cores_at_10k_switches() {
+        // §2: "normal-sized data centers, comprising 10K switches, would
+        // require a collection cluster containing thousands of CPU cores
+        // dedicated to simple packet I/O" (with full event rates).
+        let cores = fig1a_cores_for_io(10_000, 1.0, ReportSize::B64);
+        assert!(cores > 500.0, "cores {cores}");
+        let with_storage = cores_for_cycles(
+            10_000,
+            1.0,
+            DPDK_IO_CYCLES_PER_REPORT * (1.0 + CONFLUO_STORAGE_MULTIPLIER),
+        );
+        assert!(with_storage > 1000.0, "with storage: {with_storage}");
+    }
+
+    #[test]
+    fn dart_needs_orders_of_magnitude_less_hardware() {
+        // 10k switches, full rate, N=2: DART needs a couple hundred
+        // NICs' worth of message capacity, vs ~64k CPU cores for
+        // DPDK+Confluo — the paper's core argument, quantified.
+        let nics = dart_nics_needed(10_000, 1.0, 2);
+        let cores = cores_for_cycles(
+            10_000,
+            1.0,
+            DPDK_IO_CYCLES_PER_REPORT * (1.0 + CONFLUO_STORAGE_MULTIPLIER),
+        );
+        assert!(nics < 250.0, "nics {nics}");
+        assert!(cores / nics > 100.0, "cores {cores} / nics {nics}");
+    }
+
+    #[test]
+    fn fig1a_monotone_in_everything() {
+        let base = fig1a_cores_for_io(1000, 0.1, ReportSize::B64);
+        assert!(fig1a_cores_for_io(2000, 0.1, ReportSize::B64) > base);
+        assert!(fig1a_cores_for_io(1000, 0.2, ReportSize::B64) > base);
+        assert!(fig1a_cores_for_io(1000, 0.1, ReportSize::B128) > base);
+    }
+
+    #[test]
+    fn report_sizes() {
+        assert_eq!(ReportSize::B64.bytes(), 64);
+        assert_eq!(ReportSize::B64.data_bytes(), 36);
+        assert_eq!(ReportSize::B128.data_bytes(), 100);
+        assert!(ReportSize::B64.dpdk_pps_per_core() > ReportSize::B128.dpdk_pps_per_core());
+    }
+}

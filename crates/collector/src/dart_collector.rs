@@ -1,0 +1,320 @@
+//! One DART collector: an RNIC, a telemetry region, and a query engine.
+//!
+//! Startup is the only time the CPU acts (§3): register the region,
+//! bring up a UC queue pair, export the endpoint descriptor. From then on
+//! every switch report is absorbed by [`DartCollector::receive_frame`]
+//! (the NIC data path) and the CPU only runs [`DartCollector::query`].
+
+use dta_core::config::DartConfig;
+use dta_core::query::{QueryOutcome, ReturnPolicy};
+use dta_core::store::OwnedQueryEngine;
+use dta_core::DartError;
+use dta_rdma::mr::{AccessFlags, MemoryHandle};
+use dta_rdma::nic::{NicCounters, RxOutcome};
+use dta_rdma::verbs::{Device, RemoteEndpoint};
+use dta_wire::roce::Psn;
+use dta_wire::{ethernet, ipv4};
+
+/// Virtual base address collectors register their telemetry region at.
+pub const REGION_BASE_VA: u64 = 0x4000_0000;
+
+/// A single DART collector endpoint.
+pub struct DartCollector {
+    index: u32,
+    device: Device,
+    endpoint: RemoteEndpoint,
+    handle: MemoryHandle,
+    engine: OwnedQueryEngine,
+    queries: u64,
+    /// Sealed epoch snapshots, oldest first (§5.2.1's historical tier).
+    epochs: Vec<Vec<u8>>,
+}
+
+impl DartCollector {
+    /// Bring up collector number `index` with per-collector `config`.
+    ///
+    /// Addresses are derived from the index so clusters are easy to
+    /// construct; `config.slots` and `config.layout` define the region
+    /// size.
+    pub fn new(index: u32, config: DartConfig) -> Result<DartCollector, DartError> {
+        config.validate()?;
+        let id = index.to_be_bytes();
+        let mac = ethernet::Address([0x02, 0xC0, id[0], id[1], id[2], id[3]]);
+        let ip = ipv4::Address([10, 200, id[2], id[3]]);
+        let mut device = Device::open(mac, ip);
+        let region_len = config.bytes_per_collector();
+        let (rkey, handle) = device
+            .register_region(REGION_BASE_VA, region_len, AccessFlags::DART_COLLECTOR)
+            .expect("fresh device has no rkeys");
+        let qpn = device
+            .create_uc_qp(Psn::new(0))
+            .expect("fresh device has no QPs");
+        let endpoint = device.endpoint(qpn, rkey, REGION_BASE_VA, region_len as u64);
+        let engine = OwnedQueryEngine::new(config)?;
+        Ok(DartCollector {
+            index,
+            device,
+            endpoint,
+            handle,
+            engine,
+            queries: 0,
+            epochs: Vec::new(),
+        })
+    }
+
+    /// This collector's index (its dense collector ID).
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The endpoint descriptor switches need.
+    pub fn endpoint(&self) -> RemoteEndpoint {
+        self.endpoint
+    }
+
+    /// Allocate a dedicated UC queue pair for one reporting switch and
+    /// return its endpoint descriptor.
+    ///
+    /// Each switch keeps its own PSN counter (§6), so each switch needs
+    /// its own QP at the collector — UC receive processing would treat a
+    /// second switch's low PSNs as stale duplicates otherwise. RDMA NICs
+    /// support millions of QPs; one per switch is the deployment model.
+    pub fn allocate_switch_qp(&mut self) -> RemoteEndpoint {
+        let qpn = self
+            .device
+            .create_uc_qp(Psn::new(0))
+            .expect("QPN space is ample");
+        RemoteEndpoint {
+            qpn,
+            ..self.endpoint
+        }
+    }
+
+    /// NIC counters.
+    pub fn nic_counters(&self) -> NicCounters {
+        self.device.nic().counters()
+    }
+
+    /// Queries served (the only CPU work this collector ever does).
+    pub fn queries_served(&self) -> u64 {
+        self.queries
+    }
+
+    /// The NIC data path: feed one frame from the wire.
+    pub fn receive_frame(&mut self, frame: &[u8]) -> RxOutcome {
+        self.device.nic_mut().handle_frame(frame)
+    }
+
+    /// Query a key under the configured default policy.
+    pub fn query(&mut self, key: &[u8]) -> QueryOutcome {
+        self.query_with_policy(key, self.engine.config().policy)
+    }
+
+    /// Query a key under an explicit policy.
+    pub fn query_with_policy(&mut self, key: &[u8], policy: ReturnPolicy) -> QueryOutcome {
+        self.queries += 1;
+        self.handle
+            .with(|memory| self.engine.query_with_policy(memory, key, policy))
+            .expect("region geometry matches config by construction")
+    }
+
+    /// Direct read access to the telemetry region (for snapshots /
+    /// epoch sealing).
+    pub fn memory(&self) -> &MemoryHandle {
+        &self.handle
+    }
+
+    /// Seal the current epoch (§5.2.1): snapshot the region into the
+    /// historical tier and zero it for the next epoch. Returns the
+    /// sealed epoch's id. Switches keep writing throughout — reports
+    /// racing the rotation simply land in the fresh epoch.
+    pub fn rotate_epoch(&mut self) -> u64 {
+        let snapshot = self.handle.snapshot();
+        self.epochs.push(snapshot);
+        // The host zeroes its own memory; the NIC's rkey/QP state is
+        // untouched, so ingestion continues without renegotiation.
+        if let Some(mr) = self.device.nic().mr(self.endpoint.rkey) {
+            mr.zero();
+        }
+        (self.epochs.len() - 1) as u64
+    }
+
+    /// Sealed epochs available for historical queries.
+    pub fn sealed_epochs(&self) -> u64 {
+        self.epochs.len() as u64
+    }
+
+    /// Query a key within a sealed historical epoch.
+    pub fn query_epoch(&mut self, epoch: u64, key: &[u8]) -> Result<QueryOutcome, DartError> {
+        let memory = self
+            .epochs
+            .get(epoch as usize)
+            .ok_or(DartError::UnknownEpoch(epoch))?;
+        self.queries += 1;
+        self.engine.query(memory, key)
+    }
+}
+
+impl core::fmt::Debug for DartCollector {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DartCollector")
+            .field("index", &self.index)
+            .field("endpoint", &self.endpoint)
+            .field("queries", &self.queries)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::hash::MappingKind;
+    use dta_rdma::nic::RxAction;
+    use dta_wire::dart::SlotLayout;
+    use dta_wire::roce::{BthRepr, Opcode, RethRepr, RoceRepr};
+
+    fn config() -> DartConfig {
+        DartConfig::builder()
+            .slots(1024)
+            .copies(2)
+            .mapping(MappingKind::Crc)
+            .build()
+            .unwrap()
+    }
+
+    fn write_frame(collector: &DartCollector, key: &[u8], value: &[u8], copy: u8) -> Vec<u8> {
+        write_frame_with_psn(collector, key, value, copy, u32::from(copy))
+    }
+
+    fn write_frame_with_psn(
+        collector: &DartCollector,
+        key: &[u8],
+        value: &[u8],
+        copy: u8,
+        psn: u32,
+    ) -> Vec<u8> {
+        // Hand-roll what a switch does, using the same CRC mapping.
+        use dta_core::hash::{AddressMapping, CrcMapping};
+        let mapping = CrcMapping::new();
+        let cfg = config();
+        let slot = mapping.slot(key, copy, cfg.slots);
+        let layout: SlotLayout = cfg.layout;
+        let mut payload = vec![0u8; layout.slot_len()];
+        layout
+            .encode(mapping.key_checksum(key), value, &mut payload)
+            .unwrap();
+        let ep = collector.endpoint();
+        dta_rdma::nic::build_roce_frame(
+            ethernet::Address([0x02, 0, 0, 0, 0, 9]),
+            ep.mac,
+            ipv4::Address([10, 0, 0, 9]),
+            ep.ip,
+            49152,
+            &RoceRepr::Write {
+                bth: BthRepr {
+                    opcode: Opcode::UcRdmaWriteOnly,
+                    solicited: false,
+                    migration: true,
+                    pad_count: 0,
+                    partition_key: 0xFFFF,
+                    dest_qp: ep.qpn,
+                    ack_request: false,
+                    psn,
+                },
+                reth: RethRepr {
+                    virtual_addr: ep.base_va + slot * layout.slot_len() as u64,
+                    rkey: ep.rkey,
+                    dma_len: layout.slot_len() as u32,
+                },
+                payload,
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_write_then_query() {
+        let mut collector = DartCollector::new(0, config()).unwrap();
+        let value = vec![7u8; 20];
+        for copy in 0..2 {
+            let frame = write_frame(&collector, b"flow-1", &value, copy);
+            let outcome = collector.receive_frame(&frame);
+            assert!(
+                matches!(outcome.action, RxAction::WriteExecuted { .. }),
+                "{outcome:?}"
+            );
+        }
+        assert_eq!(collector.query(b"flow-1"), QueryOutcome::Answer(value));
+        assert_eq!(collector.queries_served(), 1);
+        assert_eq!(collector.nic_counters().writes, 2);
+    }
+
+    #[test]
+    fn unreported_key_empty() {
+        let mut collector = DartCollector::new(0, config()).unwrap();
+        assert_eq!(collector.query(b"nothing"), QueryOutcome::Empty);
+    }
+
+    #[test]
+    fn collectors_have_distinct_addresses() {
+        let a = DartCollector::new(0, config()).unwrap();
+        let b = DartCollector::new(1, config()).unwrap();
+        assert_ne!(a.endpoint().mac, b.endpoint().mac);
+        assert_ne!(a.endpoint().ip, b.endpoint().ip);
+    }
+
+    #[test]
+    fn epoch_rotation_preserves_history_and_clears_active() {
+        let mut collector = DartCollector::new(0, config()).unwrap();
+        let value = vec![5u8; 20];
+        for copy in 0..2 {
+            let frame = write_frame(&collector, b"epoch-key", &value, copy);
+            collector.receive_frame(&frame);
+        }
+        assert_eq!(
+            collector.query(b"epoch-key"),
+            QueryOutcome::Answer(value.clone())
+        );
+
+        let sealed = collector.rotate_epoch();
+        assert_eq!(sealed, 0);
+        assert_eq!(collector.sealed_epochs(), 1);
+        // Active region is fresh...
+        assert_eq!(collector.query(b"epoch-key"), QueryOutcome::Empty);
+        // ...but the history still answers.
+        assert_eq!(
+            collector.query_epoch(0, b"epoch-key").unwrap(),
+            QueryOutcome::Answer(value)
+        );
+        assert!(matches!(
+            collector.query_epoch(9, b"k"),
+            Err(DartError::UnknownEpoch(9))
+        ));
+    }
+
+    #[test]
+    fn ingestion_continues_across_rotation() {
+        let mut collector = DartCollector::new(0, config()).unwrap();
+        let frame = write_frame(&collector, b"before", &[1u8; 20], 0);
+        collector.receive_frame(&frame);
+        collector.rotate_epoch();
+        // PSN state survives rotation: the next report (PSN continues
+        // where the switch left off) must still be accepted.
+        let frame = write_frame_with_psn(&collector, b"after", &[2u8; 20], 0, 1);
+        let outcome = collector.receive_frame(&frame);
+        assert!(
+            matches!(outcome.action, RxAction::WriteExecuted { .. }),
+            "{outcome:?}"
+        );
+        assert_eq!(
+            collector.query_with_policy(b"after", dta_core::query::ReturnPolicy::FirstMatch),
+            QueryOutcome::Answer(vec![2u8; 20])
+        );
+    }
+
+    #[test]
+    fn region_sized_from_config() {
+        let collector = DartCollector::new(0, config()).unwrap();
+        assert_eq!(collector.memory().len(), 1024 * 24);
+        assert_eq!(collector.endpoint().region_len, 1024 * 24);
+    }
+}

@@ -1,0 +1,33 @@
+//! # dta-collector — telemetry collectors, zero-CPU and CPU-bound
+//!
+//! Two worlds live here, mirroring the paper's §2 motivation:
+//!
+//! * **DART collectors** ([`dart_collector`], [`cluster`]): a NIC, a
+//!   registered memory region and a query engine. Report ingestion costs
+//!   the host CPU *nothing* — frames flow through the simulated RNIC
+//!   straight into the region; the CPU only executes operator queries.
+//! * **CPU baselines** ([`rx`], [`mini_kafka`], [`mini_confluo`]): the
+//!   conventional pipeline — packet I/O (socket-style per-packet or
+//!   DPDK-style burst polling) followed by insertion into queryable
+//!   storage (a Kafka-like partitioned log or a Confluo-like
+//!   append-log-plus-index). These are *executable*, so Figure 1(b)'s
+//!   "storage dwarfs I/O" claim can be measured, not just quoted.
+//! * **The operator console** ([`query_service`]): typed queries over a
+//!   cluster using the Table 1 backend codecs.
+//! * **The cost model** ([`cycles`]): the paper's published constants
+//!   (DPDK PMD rates, cycle counts for socket/Kafka/DPDK/Confluo) and
+//!   the arithmetic behind Figure 1(a)'s "thousands of cores" argument.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod cycles;
+pub mod dart_collector;
+pub mod mini_confluo;
+pub mod mini_kafka;
+pub mod query_service;
+pub mod rx;
+
+pub use cluster::CollectorCluster;
+pub use dart_collector::DartCollector;

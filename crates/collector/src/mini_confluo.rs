@@ -1,0 +1,179 @@
+//! A miniature Confluo: an append-only log with per-attribute indexes.
+//!
+//! Confluo ingests telemetry records into an atomic multilog — an
+//! append-only data log plus index logs per indexed attribute — which is
+//! what makes its inserts so much more expensive than raw packet I/O
+//! (114× in §2). This mini version reproduces that work profile: one
+//! append, then one index insertion per indexed attribute, plus a
+//! running aggregate.
+
+use std::collections::HashMap;
+
+/// A record's position in the data log.
+pub type LogOffset = u64;
+
+/// Which attributes of a telemetry report are indexed.
+#[derive(Debug, Clone, Copy)]
+pub struct Schema {
+    /// Byte range of the key attribute within a record.
+    pub key_range: (usize, usize),
+    /// Byte range of a secondary attribute (e.g. switch ID).
+    pub secondary_range: (usize, usize),
+}
+
+impl Default for Schema {
+    fn default() -> Self {
+        // Matches the telemetry backends' encodings: a 13-byte 5-tuple
+        // key after a 1-byte tag, then a 4-byte switch ID.
+        Schema {
+            key_range: (0, 14),
+            secondary_range: (14, 18),
+        }
+    }
+}
+
+/// The mini Confluo multilog.
+#[derive(Debug)]
+pub struct MiniConfluo {
+    data_log: Vec<u8>,
+    offsets: Vec<LogOffset>,
+    key_index: HashMap<Vec<u8>, Vec<LogOffset>>,
+    secondary_index: HashMap<Vec<u8>, Vec<LogOffset>>,
+    count_aggregate: HashMap<Vec<u8>, u64>,
+    schema: Schema,
+    records: u64,
+}
+
+impl MiniConfluo {
+    /// Create a store with `schema`.
+    pub fn new(schema: Schema) -> MiniConfluo {
+        MiniConfluo {
+            data_log: Vec::new(),
+            offsets: Vec::new(),
+            key_index: HashMap::new(),
+            secondary_index: HashMap::new(),
+            count_aggregate: HashMap::new(),
+            schema,
+            records: 0,
+        }
+    }
+
+    /// Records inserted.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Bytes in the data log.
+    pub fn log_bytes(&self) -> usize {
+        self.data_log.len()
+    }
+
+    fn attr<'a>(&self, record: &'a [u8], range: (usize, usize)) -> &'a [u8] {
+        let (start, end) = range;
+        &record[start.min(record.len())..end.min(record.len())]
+    }
+
+    /// Insert one telemetry record: append + two index inserts + one
+    /// aggregate update (the Confluo insert work profile).
+    pub fn insert(&mut self, record: &[u8]) -> LogOffset {
+        let offset = self.data_log.len() as LogOffset;
+        self.data_log
+            .extend_from_slice(&(record.len() as u32).to_be_bytes());
+        self.data_log.extend_from_slice(record);
+        self.offsets.push(offset);
+
+        let key = self.attr(record, self.schema.key_range).to_vec();
+        let secondary = self.attr(record, self.schema.secondary_range).to_vec();
+        self.key_index.entry(key.clone()).or_default().push(offset);
+        self.secondary_index
+            .entry(secondary)
+            .or_default()
+            .push(offset);
+        *self.count_aggregate.entry(key).or_insert(0) += 1;
+
+        self.records += 1;
+        offset
+    }
+
+    /// Read the record at a log offset.
+    pub fn read(&self, offset: LogOffset) -> Option<&[u8]> {
+        let pos = offset as usize;
+        let len_bytes = self.data_log.get(pos..pos + 4)?;
+        let len = u32::from_be_bytes(len_bytes.try_into().unwrap()) as usize;
+        self.data_log.get(pos + 4..pos + 4 + len)
+    }
+
+    /// The latest record for a key (what a DART query answers directly).
+    pub fn get_latest(&self, key: &[u8]) -> Option<&[u8]> {
+        let offsets = self.key_index.get(key)?;
+        self.read(*offsets.last()?)
+    }
+
+    /// All log offsets for a key.
+    pub fn offsets_for_key(&self, key: &[u8]) -> &[LogOffset] {
+        self.key_index.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Records seen for a key (the running aggregate).
+    pub fn count(&self, key: &[u8]) -> u64 {
+        self.count_aggregate.get(key).copied().unwrap_or(0)
+    }
+}
+
+impl Default for MiniConfluo {
+    fn default() -> Self {
+        Self::new(Schema::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: u8, payload: u8) -> Vec<u8> {
+        let mut r = vec![0u8; 24];
+        r[0] = 0x01; // tag
+        r[1] = key;
+        r[14] = key; // secondary
+        r[20] = payload;
+        r
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let mut c = MiniConfluo::default();
+        let r = record(1, 42);
+        let off = c.insert(&r);
+        assert_eq!(c.read(off).unwrap(), &r[..]);
+        assert_eq!(c.records(), 1);
+        assert!(c.log_bytes() > r.len());
+    }
+
+    #[test]
+    fn latest_wins_per_key() {
+        let mut c = MiniConfluo::default();
+        c.insert(&record(1, 10));
+        c.insert(&record(1, 20));
+        c.insert(&record(2, 99));
+        let latest = c.get_latest(&record(1, 0)[0..14]).unwrap();
+        assert_eq!(latest[20], 20);
+        assert_eq!(c.count(&record(1, 0)[0..14]), 2);
+        assert_eq!(c.offsets_for_key(&record(1, 0)[0..14]).len(), 2);
+    }
+
+    #[test]
+    fn unknown_key_is_none() {
+        let c = MiniConfluo::default();
+        assert!(c.get_latest(b"nope").is_none());
+        assert_eq!(c.count(b"nope"), 0);
+        assert!(c.offsets_for_key(b"nope").is_empty());
+        assert!(c.read(999).is_none());
+    }
+
+    #[test]
+    fn short_records_do_not_panic() {
+        let mut c = MiniConfluo::default();
+        let off = c.insert(&[1, 2, 3]);
+        assert_eq!(c.read(off).unwrap(), &[1, 2, 3]);
+    }
+}

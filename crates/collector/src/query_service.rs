@@ -1,0 +1,320 @@
+//! The operator console: typed queries over a collector cluster (§3.2).
+//!
+//! Wraps [`crate::CollectorCluster`] with the Table 1 backend codecs so
+//! operators ask questions in domain terms — "what path did this flow
+//! take?", "what did switch 7 measure for it?" — and get decoded answers.
+//! Each call is exactly the four-step §3.2 procedure: hash the key to a
+//! collector, hash to the `N` addresses, read, checksum-filter, decide.
+
+use dta_core::query::QueryOutcome;
+use dta_telemetry::anomaly::{AnomalyBackend, AnomalyEvent, AnomalyKey, AnomalyKind};
+use dta_telemetry::event::Backend;
+use dta_telemetry::failure::{FailureBackend, FailureEvent, FailureKey};
+use dta_telemetry::int_path::IntPathBackend;
+use dta_telemetry::postcard::{LocalMeasurement, PostcardBackend, PostcardKey};
+use dta_telemetry::query_mirror::{QueryAnswer, QueryMirrorBackend};
+use dta_telemetry::trace::{AnalysisKind, AnalysisOutput, TraceBackend, TraceKey};
+use dta_wire::FiveTuple;
+
+use crate::cluster::CollectorCluster;
+
+/// A typed query answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer<T> {
+    /// The decoded value.
+    Value(T),
+    /// No answer could be determined (empty return, §4).
+    Empty,
+    /// A slot matched but its bytes failed to decode — indistinguishable
+    /// in the wild from a return error that corrupted structure; counted
+    /// separately so operators see it.
+    Garbled,
+}
+
+impl<T> Answer<T> {
+    /// The value, if any.
+    pub fn value(self) -> Option<T> {
+        match self {
+            Answer::Value(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether a decoded value is present.
+    pub fn is_value(&self) -> bool {
+        matches!(self, Answer::Value(_))
+    }
+}
+
+/// Query statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Queries answered with a decodable value.
+    pub answered: u64,
+    /// Queries with empty returns.
+    pub empty: u64,
+    /// Queries whose matched bytes failed to decode.
+    pub garbled: u64,
+}
+
+/// The typed query console.
+pub struct QueryService<'a> {
+    cluster: &'a mut CollectorCluster,
+    stats: ServiceStats,
+}
+
+impl<'a> QueryService<'a> {
+    /// Wrap a cluster.
+    pub fn new(cluster: &'a mut CollectorCluster) -> QueryService<'a> {
+        QueryService {
+            cluster,
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    fn run<T>(&mut self, key: Vec<u8>, decode: impl FnOnce(&[u8]) -> Option<T>) -> Answer<T> {
+        match self.cluster.query(&key) {
+            QueryOutcome::Empty => {
+                self.stats.empty += 1;
+                Answer::Empty
+            }
+            QueryOutcome::Answer(bytes) => match decode(&bytes) {
+                Some(value) => {
+                    self.stats.answered += 1;
+                    Answer::Value(value)
+                }
+                None => {
+                    self.stats.garbled += 1;
+                    Answer::Garbled
+                }
+            },
+        }
+    }
+
+    /// "What path did this flow take?" (in-band INT, Table 1 row 1).
+    pub fn int_path(&mut self, flow: &FiveTuple) -> Answer<Vec<u32>> {
+        self.run(IntPathBackend::encode_key(flow), |bytes| {
+            IntPathBackend::decode_path(bytes).ok()
+        })
+    }
+
+    /// "What did this switch measure for this flow?" (postcards, row 2).
+    pub fn postcard(&mut self, switch_id: u32, flow: FiveTuple) -> Answer<LocalMeasurement> {
+        self.run(
+            PostcardBackend::encode_key(&PostcardKey { switch_id, flow }),
+            |bytes| PostcardBackend::decode_value(bytes).ok(),
+        )
+    }
+
+    /// "What is the current answer of installed query Q?" (row 3).
+    pub fn mirror_answer(&mut self, query_id: u32) -> Answer<QueryAnswer> {
+        self.run(QueryMirrorBackend::encode_key(&query_id), |bytes| {
+            QueryMirrorBackend::decode_value(bytes).ok()
+        })
+    }
+
+    /// "What did trace analysis K conclude about trace T?" (row 4).
+    pub fn trace_analysis(&mut self, trace_id: u32, kind: AnalysisKind) -> Answer<AnalysisOutput> {
+        self.run(
+            TraceBackend::encode_key(&TraceKey { trace_id, kind }),
+            |bytes| TraceBackend::decode_value(bytes).ok(),
+        )
+    }
+
+    /// "Has this flow seen this anomaly?" (row 5).
+    pub fn anomaly(&mut self, flow: FiveTuple, kind: AnomalyKind) -> Answer<AnomalyEvent> {
+        self.run(
+            AnomalyBackend::encode_key(&AnomalyKey { flow, kind }),
+            |bytes| AnomalyBackend::decode_value(bytes).ok(),
+        )
+    }
+
+    /// "What do we know about failure F at location L?" (row 6).
+    pub fn failure(&mut self, failure_id: u32, location: u32) -> Answer<FailureEvent> {
+        self.run(
+            FailureBackend::encode_key(&FailureKey {
+                failure_id,
+                location,
+            }),
+            |bytes| FailureBackend::decode_value(bytes).ok(),
+        )
+    }
+
+    /// Probe every anomaly kind for a flow — an incident dashboard row.
+    pub fn anomaly_profile(&mut self, flow: FiveTuple) -> Vec<(AnomalyKind, AnomalyEvent)> {
+        [
+            AnomalyKind::Drop,
+            AnomalyKind::Loop,
+            AnomalyKind::Congestion,
+            AnomalyKind::Blackhole,
+            AnomalyKind::PathChange,
+        ]
+        .into_iter()
+        .filter_map(|kind| match self.anomaly(flow, kind) {
+            Answer::Value(event) => Some((kind, event)),
+            _ => None,
+        })
+        .collect()
+    }
+}
+
+impl core::fmt::Debug for QueryService<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("QueryService")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_core::config::DartConfig;
+    use dta_core::hash::MappingKind;
+    use dta_telemetry::event::TelemetryRecord;
+    use dta_wire::int::{HopMetadata, IntStack};
+    use dta_wire::ipv4;
+
+    fn flow() -> FiveTuple {
+        FiveTuple {
+            src_ip: ipv4::Address([10, 0, 0, 2]),
+            dst_ip: ipv4::Address([10, 1, 1, 2]),
+            src_port: 50000,
+            dst_port: 443,
+            protocol: 6,
+        }
+    }
+
+    fn cluster_with(records: &[TelemetryRecord]) -> CollectorCluster {
+        let config = DartConfig::builder()
+            .slots(1 << 12)
+            .copies(2)
+            .collectors(2)
+            .mapping(MappingKind::Mix64 { seed: 4 })
+            .build()
+            .unwrap();
+        let mut cluster = CollectorCluster::new(config.clone()).unwrap();
+        // Ingest path for the test: build each collector's slot image
+        // with a local DartStore (identical layout/mapping), then splice
+        // the non-empty slots in as genuine RDMA WRITE frames so the data
+        // arrives through the NIC like production reports.
+        use dta_core::store::DartStore;
+        let mut stores: Vec<DartStore> = (0..2).map(|_| DartStore::new(config.clone())).collect();
+        for record in records {
+            let id = cluster.collector_of(&record.key) as usize;
+            stores[id].insert(&record.key, &record.value).unwrap();
+        }
+        for (i, store) in stores.iter().enumerate() {
+            let collector = cluster.collector_mut(i as u32).unwrap();
+            let ep = collector.endpoint();
+            let slot_len = 24usize;
+            for (slot, chunk) in store.memory().chunks(slot_len).enumerate() {
+                if chunk.iter().all(|&b| b == 0) {
+                    continue;
+                }
+                let frame = dta_rdma::nic::build_roce_frame(
+                    dta_wire::ethernet::Address([2, 0, 0, 0, 0, 9]),
+                    ep.mac,
+                    dta_wire::ipv4::Address([10, 0, 0, 9]),
+                    ep.ip,
+                    49152,
+                    &dta_wire::roce::RoceRepr::Write {
+                        bth: dta_wire::roce::BthRepr {
+                            opcode: dta_wire::roce::Opcode::UcRdmaWriteOnly,
+                            solicited: false,
+                            migration: true,
+                            pad_count: 0,
+                            partition_key: 0xFFFF,
+                            dest_qp: ep.qpn,
+                            ack_request: false,
+                            psn: slot as u32,
+                        },
+                        reth: dta_wire::roce::RethRepr {
+                            virtual_addr: ep.base_va + (slot * slot_len) as u64,
+                            rkey: ep.rkey,
+                            dma_len: slot_len as u32,
+                        },
+                        payload: chunk.to_vec(),
+                    },
+                );
+                collector.receive_frame(&frame);
+            }
+        }
+        cluster
+    }
+
+    #[test]
+    fn typed_path_query() {
+        let mut stack = IntStack::new();
+        for id in [5u32, 6, 7] {
+            stack.push(HopMetadata { switch_id: id }).unwrap();
+        }
+        let record = IntPathBackend::record(&flow(), &stack);
+        let mut cluster = cluster_with(&[record]);
+        let mut service = QueryService::new(&mut cluster);
+        assert_eq!(service.int_path(&flow()), Answer::Value(vec![5, 6, 7]));
+        assert_eq!(service.stats().answered, 1);
+    }
+
+    #[test]
+    fn empty_answers_counted() {
+        let mut cluster = cluster_with(&[]);
+        let mut service = QueryService::new(&mut cluster);
+        assert_eq!(service.int_path(&flow()), Answer::Empty);
+        assert_eq!(service.postcard(9, flow()), Answer::Empty);
+        assert_eq!(service.mirror_answer(1), Answer::Empty);
+        assert_eq!(
+            service.trace_analysis(1, AnalysisKind::Reordering),
+            Answer::Empty
+        );
+        assert_eq!(service.failure(1, 2), Answer::Empty);
+        assert!(service.anomaly_profile(flow()).is_empty());
+        assert_eq!(service.stats().empty, 10); // profile probes 5 kinds
+    }
+
+    #[test]
+    fn anomaly_profile_collects_present_kinds() {
+        let key1 = AnomalyKey {
+            flow: flow(),
+            kind: AnomalyKind::Drop,
+        };
+        let ev1 = AnomalyEvent {
+            timestamp: 1,
+            switch_id: 2,
+            event_data: 3,
+            count: 4,
+        };
+        let key2 = AnomalyKey {
+            flow: flow(),
+            kind: AnomalyKind::Congestion,
+        };
+        let ev2 = AnomalyEvent {
+            timestamp: 9,
+            switch_id: 8,
+            event_data: 7,
+            count: 6,
+        };
+        let mut cluster = cluster_with(&[
+            AnomalyBackend::record(&key1, &ev1),
+            AnomalyBackend::record(&key2, &ev2),
+        ]);
+        let mut service = QueryService::new(&mut cluster);
+        let profile = service.anomaly_profile(flow());
+        assert_eq!(profile.len(), 2);
+        assert!(profile.contains(&(AnomalyKind::Drop, ev1)));
+        assert!(profile.contains(&(AnomalyKind::Congestion, ev2)));
+    }
+
+    #[test]
+    fn answer_helpers() {
+        assert_eq!(Answer::Value(5).value(), Some(5));
+        assert!(Answer::Value(5).is_value());
+        assert_eq!(Answer::<u32>::Empty.value(), None);
+        assert!(!Answer::<u32>::Garbled.is_value());
+    }
+}

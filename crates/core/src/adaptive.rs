@@ -1,0 +1,192 @@
+//! Dynamic redundancy adaptation (§5.1 future work).
+//!
+//! "We conclude that dynamically adjusting N as the load fluctuates
+//! could improve queryability and efficiency, and leave finding a good
+//! mechanism as future work." — this module is one such mechanism.
+//!
+//! The collector knows how many keys have been written recently (its NIC
+//! counts WRITEs; keys ≈ writes / N), so it can estimate the load factor
+//! `α` and pick the `N` that maximizes the §4 average success rate. The
+//! controller adds *hysteresis* so N doesn't flap at band boundaries —
+//! switches learn the new N through the same control-plane channel that
+//! installs collector endpoints, so changes should be rare.
+//!
+//! Consistency note: readers do not need to know which N a key was
+//! written with. Querying always probes `max_n` slots; keys written at a
+//! smaller N simply match fewer of them, which the return policies
+//! already handle. (Probing extra slots slightly increases ambiguity at
+//! tiny checksum widths; with the default 32-bit checksums the effect is
+//! negligible.)
+
+use crate::DartError;
+
+/// Configuration of the adaptive-N controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// Candidate redundancy values (sorted ascending, 1..=8).
+    pub candidates: [u32; 4],
+    /// Fractional improvement another N must offer before switching
+    /// (hysteresis; 0.01 = 1 %).
+    pub hysteresis: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            candidates: [1, 2, 3, 4],
+            // Rate gaps between adjacent N within ±0.005 of a band
+            // boundary are ≲0.1pp; 0.2pp filters that noise while still
+            // letting genuinely better configurations win.
+            hysteresis: 0.002,
+        }
+    }
+}
+
+/// The adaptive-N controller: feed it load estimates, read the
+/// recommended N.
+#[derive(Debug, Clone)]
+pub struct AdaptiveN {
+    config: AdaptiveConfig,
+    current: u32,
+    switches: u64,
+}
+
+impl AdaptiveN {
+    /// Start at `initial` copies.
+    pub fn new(config: AdaptiveConfig, initial: u32) -> Result<AdaptiveN, DartError> {
+        if !config.candidates.contains(&initial) {
+            return Err(DartError::InvalidConfig(
+                "initial N must be among the candidates",
+            ));
+        }
+        if config.hysteresis < 0.0 {
+            return Err(DartError::InvalidConfig("hysteresis must be >= 0"));
+        }
+        Ok(AdaptiveN {
+            config,
+            current: initial,
+            switches: 0,
+        })
+    }
+
+    /// The currently recommended redundancy.
+    pub fn current(&self) -> u32 {
+        self.current
+    }
+
+    /// How many times the recommendation has changed.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// Estimate the load factor from NIC counters: `writes / n / slots`
+    /// (each key costs ~N writes at redundancy N).
+    pub fn estimate_load(writes: u64, n: u32, slots: u64) -> f64 {
+        if slots == 0 || n == 0 {
+            return 0.0;
+        }
+        writes as f64 / f64::from(n) / slots as f64
+    }
+
+    /// Update with a fresh load estimate; returns the (possibly new)
+    /// recommendation.
+    pub fn observe(&mut self, alpha: f64) -> u32 {
+        let alpha = alpha.max(0.0);
+        let current_rate = dta_analysis::average_query_success(alpha, self.current);
+        let mut best = (self.current, current_rate);
+        for &n in &self.config.candidates {
+            let rate = dta_analysis::average_query_success(alpha, n);
+            if rate > best.1 {
+                best = (n, rate);
+            }
+        }
+        // Switch only if the winner clears the hysteresis margin.
+        if best.0 != self.current && best.1 > current_rate + self.config.hysteresis {
+            self.current = best.0;
+            self.switches += 1;
+        }
+        self.current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AdaptiveN {
+        AdaptiveN::new(AdaptiveConfig::default(), 2).unwrap()
+    }
+
+    #[test]
+    fn rejects_invalid_config() {
+        assert!(AdaptiveN::new(AdaptiveConfig::default(), 7).is_err());
+        assert!(AdaptiveN::new(
+            AdaptiveConfig {
+                hysteresis: -0.5,
+                ..AdaptiveConfig::default()
+            },
+            2
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tracks_optimal_bands() {
+        let mut c = controller();
+        assert_eq!(c.observe(0.05), 4, "light load wants max redundancy");
+        assert_eq!(c.observe(2.8), 1, "heavy load wants a single copy");
+        assert!(c.switches() >= 2);
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        // Near a band boundary the rates of adjacent N differ by well
+        // under the 1% hysteresis, so the controller must hold steady.
+        let mut c = controller();
+        c.observe(0.5); // settle somewhere
+        let settled = c.current();
+        let switches_before = c.switches();
+        for i in 0..100 {
+            // Jitter ±0.005 around the N=2/N=3 crossover (~0.43).
+            let alpha = 0.43 + 0.005 * (f64::from(i % 3) - 1.0);
+            c.observe(alpha);
+        }
+        assert_eq!(c.current(), settled, "flapped at a band boundary");
+        assert_eq!(c.switches(), switches_before);
+    }
+
+    #[test]
+    fn adaptation_beats_fixed_n_across_a_load_ramp() {
+        // Ablation: track a ramp α = 0.1 → 3.0 and average the
+        // theoretical success rate of the adaptive choice vs any fixed N.
+        let mut adaptive_total = 0.0;
+        let mut fixed_totals = [0.0f64; 4];
+        let mut c = controller();
+        let steps = 30;
+        for i in 1..=steps {
+            let alpha = i as f64 * 0.1;
+            let n = c.observe(alpha);
+            adaptive_total += dta_analysis::average_query_success(alpha, n);
+            for (j, total) in fixed_totals.iter_mut().enumerate() {
+                *total += dta_analysis::average_query_success(alpha, j as u32 + 1);
+            }
+        }
+        for (j, &fixed) in fixed_totals.iter().enumerate() {
+            assert!(
+                adaptive_total >= fixed - 1e-9,
+                "adaptive ({adaptive_total}) lost to fixed N={} ({fixed})",
+                j + 1
+            );
+        }
+        // And strictly better than at least one of them.
+        assert!(fixed_totals.iter().any(|&f| adaptive_total > f + 0.3));
+    }
+
+    #[test]
+    fn load_estimation_from_counters() {
+        assert_eq!(AdaptiveN::estimate_load(2000, 2, 1000), 1.0);
+        assert_eq!(AdaptiveN::estimate_load(0, 2, 1000), 0.0);
+        assert_eq!(AdaptiveN::estimate_load(10, 0, 1000), 0.0);
+        assert_eq!(AdaptiveN::estimate_load(10, 2, 0), 0.0);
+    }
+}

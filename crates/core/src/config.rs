@@ -1,0 +1,215 @@
+//! DART configuration.
+
+use crate::error::DartError;
+use crate::hash::MappingKind;
+use crate::query::ReturnPolicy;
+use dta_wire::dart::{ChecksumWidth, SlotLayout};
+
+/// Write strategy for redundant copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteStrategy {
+    /// Plain `N` RDMA WRITEs, one per copy (the paper's default design).
+    AllSlots,
+    /// §7 variant for `N = 2`: copy 0 is a plain WRITE, copy 1 a
+    /// COMPARE_SWAP that fills the slot only if it is currently empty.
+    /// Leaves more residual slots intact under load.
+    WriteThenCas,
+}
+
+/// Full configuration of a DART deployment, shared verbatim between
+/// switches (writers) and operators (readers).
+#[derive(Debug, Clone)]
+pub struct DartConfig {
+    /// Memory slots per collector (`M` in §4).
+    pub slots: u64,
+    /// Redundant copies per key (`N` in §4).
+    pub copies: u8,
+    /// Byte layout of one slot (checksum width + value length).
+    pub layout: SlotLayout,
+    /// Number of collectors sharing the key space.
+    pub collectors: u32,
+    /// Hash family (must be identical at writers and readers).
+    pub mapping: MappingKind,
+    /// How redundant copies are written.
+    pub strategy: WriteStrategy,
+    /// Default return policy for queries.
+    pub policy: ReturnPolicy,
+}
+
+impl DartConfig {
+    /// Start building a configuration.
+    pub fn builder() -> DartConfigBuilder {
+        DartConfigBuilder::default()
+    }
+
+    /// Bytes of collector memory needed per collector.
+    pub fn bytes_per_collector(&self) -> usize {
+        self.slots as usize * self.layout.slot_len()
+    }
+
+    /// The load factor `α = keys / slots` this store would have after
+    /// `keys` distinct keys were inserted.
+    pub fn load_factor(&self, keys: u64) -> f64 {
+        keys as f64 / self.slots as f64
+    }
+
+    /// Validate invariants.
+    pub fn validate(&self) -> Result<(), DartError> {
+        if self.slots == 0 {
+            return Err(DartError::InvalidConfig("slots must be >= 1"));
+        }
+        if self.copies == 0 {
+            return Err(DartError::InvalidConfig("copies must be >= 1"));
+        }
+        if self.collectors == 0 {
+            return Err(DartError::InvalidConfig("collectors must be >= 1"));
+        }
+        if self.layout.value_len == 0 {
+            return Err(DartError::InvalidConfig("value_len must be >= 1"));
+        }
+        if self.strategy == WriteStrategy::WriteThenCas && self.copies != 2 {
+            return Err(DartError::InvalidConfig(
+                "WriteThenCas is defined for exactly 2 copies",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`DartConfig`].
+#[derive(Debug, Clone)]
+pub struct DartConfigBuilder {
+    slots: u64,
+    copies: u8,
+    checksum: ChecksumWidth,
+    value_len: usize,
+    collectors: u32,
+    mapping: MappingKind,
+    strategy: WriteStrategy,
+    policy: ReturnPolicy,
+}
+
+impl Default for DartConfigBuilder {
+    fn default() -> Self {
+        // Paper defaults: N = 2 (§5.1), 32-bit checksum + plurality vote
+        // (§4), 160-bit INT path-tracing values (§5.2).
+        DartConfigBuilder {
+            slots: 1 << 20,
+            copies: 2,
+            checksum: ChecksumWidth::B32,
+            value_len: 20,
+            collectors: 1,
+            mapping: MappingKind::Mix64 { seed: 0 },
+            strategy: WriteStrategy::AllSlots,
+            policy: ReturnPolicy::Plurality,
+        }
+    }
+}
+
+impl DartConfigBuilder {
+    /// Memory slots per collector.
+    pub fn slots(mut self, slots: u64) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Redundant copies per key (`N`).
+    pub fn copies(mut self, copies: u8) -> Self {
+        self.copies = copies;
+        self
+    }
+
+    /// Stored checksum width.
+    pub fn checksum(mut self, width: ChecksumWidth) -> Self {
+        self.checksum = width;
+        self
+    }
+
+    /// Value length in bytes.
+    pub fn value_len(mut self, len: usize) -> Self {
+        self.value_len = len;
+        self
+    }
+
+    /// Number of collectors.
+    pub fn collectors(mut self, collectors: u32) -> Self {
+        self.collectors = collectors;
+        self
+    }
+
+    /// Hash mapping family.
+    pub fn mapping(mut self, mapping: MappingKind) -> Self {
+        self.mapping = mapping;
+        self
+    }
+
+    /// Write strategy.
+    pub fn strategy(mut self, strategy: WriteStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Default return policy.
+    pub fn policy(mut self, policy: ReturnPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Finish, validating invariants.
+    pub fn build(self) -> Result<DartConfig, DartError> {
+        let config = DartConfig {
+            slots: self.slots,
+            copies: self.copies,
+            layout: SlotLayout {
+                checksum: self.checksum,
+                value_len: self.value_len,
+            },
+            collectors: self.collectors,
+            mapping: self.mapping,
+            strategy: self.strategy,
+            policy: self.policy,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DartConfig::builder().build().unwrap();
+        assert_eq!(c.copies, 2);
+        assert_eq!(c.layout.checksum, ChecksumWidth::B32);
+        assert_eq!(c.layout.value_len, 20);
+        assert_eq!(c.policy, ReturnPolicy::Plurality);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let c = DartConfig::builder().slots(1000).build().unwrap();
+        // 24-byte slots (4 checksum + 20 value).
+        assert_eq!(c.bytes_per_collector(), 24_000);
+        assert!((c.load_factor(800) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_invalid() {
+        assert!(DartConfig::builder().slots(0).build().is_err());
+        assert!(DartConfig::builder().copies(0).build().is_err());
+        assert!(DartConfig::builder().collectors(0).build().is_err());
+        assert!(DartConfig::builder().value_len(0).build().is_err());
+        assert!(DartConfig::builder()
+            .strategy(WriteStrategy::WriteThenCas)
+            .copies(3)
+            .build()
+            .is_err());
+        assert!(DartConfig::builder()
+            .strategy(WriteStrategy::WriteThenCas)
+            .copies(2)
+            .build()
+            .is_ok());
+    }
+}

@@ -1,0 +1,253 @@
+//! Epoch-based historical storage (§5.2.1).
+//!
+//! Writing directly to DRAM gives line-rate ingestion but bounded
+//! capacity; troubleshooting a past outage needs *history*. The paper
+//! proposes rotating the DRAM region through epochs: the active region
+//! absorbs RDMA writes, sealed epochs remain queryable in DRAM for a
+//! while, and old epochs drain to a larger, much slower persistent tier.
+//!
+//! [`EpochStore`] implements that pipeline. The persistent tier is
+//! simulated: an in-memory archive whose reads are tallied separately so
+//! experiments can account for the DRAM/persistent cost asymmetry.
+
+use std::collections::VecDeque;
+
+use crate::config::DartConfig;
+use crate::error::DartError;
+use crate::query::QueryOutcome;
+use crate::store::DartStore;
+
+/// A sealed, immutable epoch still resident in DRAM.
+#[derive(Clone)]
+pub struct SealedEpoch {
+    /// Monotonic epoch id (0 = first epoch ever sealed).
+    pub id: u64,
+    store: DartStore,
+}
+
+impl SealedEpoch {
+    /// Query a key within this epoch.
+    pub fn query(&self, key: &[u8]) -> QueryOutcome {
+        self.store.query(key)
+    }
+}
+
+/// Counters for the storage hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Epochs sealed so far.
+    pub sealed: u64,
+    /// Epochs evicted from DRAM into the persistent tier.
+    pub archived: u64,
+    /// Queries served from the active region.
+    pub active_queries: u64,
+    /// Queries served from sealed DRAM epochs.
+    pub dram_queries: u64,
+    /// Queries served from the (slow) persistent tier.
+    pub persistent_queries: u64,
+}
+
+/// An epoch-rotating DART store with a simulated persistent tier.
+pub struct EpochStore {
+    config: DartConfig,
+    active: DartStore,
+    active_id: u64,
+    dram_ring: VecDeque<SealedEpoch>,
+    dram_capacity: usize,
+    archive: Vec<(u64, Vec<u8>)>,
+    stats: EpochStats,
+}
+
+impl EpochStore {
+    /// Create with `dram_capacity` sealed epochs kept in DRAM before
+    /// eviction to the persistent tier.
+    pub fn new(config: DartConfig, dram_capacity: usize) -> Result<EpochStore, DartError> {
+        config.validate()?;
+        Ok(EpochStore {
+            active: DartStore::new(config.clone()),
+            config,
+            active_id: 0,
+            dram_ring: VecDeque::new(),
+            dram_capacity,
+            archive: Vec::new(),
+            stats: EpochStats::default(),
+        })
+    }
+
+    /// The epoch currently receiving writes.
+    pub fn active_epoch(&self) -> u64 {
+        self.active_id
+    }
+
+    /// Storage-hierarchy counters.
+    pub fn stats(&self) -> EpochStats {
+        self.stats
+    }
+
+    /// Insert into the active epoch.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), DartError> {
+        self.active.insert(key, value)
+    }
+
+    /// Direct mutable access to the active store (the RDMA ingest path
+    /// writes raw slots here).
+    pub fn active_mut(&mut self) -> &mut DartStore {
+        &mut self.active
+    }
+
+    /// Seal the active epoch and start a fresh one. Evicts the oldest
+    /// DRAM epoch to the persistent tier if the ring is full. Returns the
+    /// sealed epoch's id.
+    pub fn rotate(&mut self) -> u64 {
+        let sealed_id = self.active_id;
+        let fresh = DartStore::new(self.config.clone());
+        let sealed_store = std::mem::replace(&mut self.active, fresh);
+        self.dram_ring.push_back(SealedEpoch {
+            id: sealed_id,
+            store: sealed_store,
+        });
+        self.stats.sealed += 1;
+        if self.dram_ring.len() > self.dram_capacity {
+            let evicted = self.dram_ring.pop_front().expect("ring non-empty");
+            // "Periodical transfer of data into a larger (and much
+            // slower) persistent storage" — we snapshot the raw bytes.
+            self.archive
+                .push((evicted.id, evicted.store.memory().to_vec()));
+            self.stats.archived += 1;
+        }
+        self.active_id += 1;
+        sealed_id
+    }
+
+    /// Query the active epoch.
+    pub fn query_current(&mut self, key: &[u8]) -> QueryOutcome {
+        self.stats.active_queries += 1;
+        self.active.query(key)
+    }
+
+    /// Query a specific historical epoch (DRAM ring first, then the
+    /// persistent tier).
+    pub fn query_epoch(&mut self, epoch: u64, key: &[u8]) -> Result<QueryOutcome, DartError> {
+        if epoch == self.active_id {
+            self.stats.active_queries += 1;
+            return Ok(self.active.query(key));
+        }
+        if let Some(sealed) = self.dram_ring.iter().find(|e| e.id == epoch) {
+            self.stats.dram_queries += 1;
+            return Ok(sealed.query(key));
+        }
+        if let Some((_, memory)) = self.archive.iter().find(|(id, _)| *id == epoch) {
+            self.stats.persistent_queries += 1;
+            let store = DartStore::from_memory(self.config.clone(), memory.clone())?;
+            return Ok(store.query(key));
+        }
+        Err(DartError::UnknownEpoch(epoch))
+    }
+
+    /// Epoch ids currently queryable from DRAM (newest last).
+    pub fn dram_epochs(&self) -> Vec<u64> {
+        self.dram_ring.iter().map(|e| e.id).collect()
+    }
+
+    /// Epoch ids in the persistent tier (oldest first).
+    pub fn archived_epochs(&self) -> Vec<u64> {
+        self.archive.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DartConfig;
+
+    fn store() -> EpochStore {
+        let config = DartConfig::builder()
+            .slots(1 << 10)
+            .copies(2)
+            .value_len(20)
+            .build()
+            .unwrap();
+        EpochStore::new(config, 2).unwrap()
+    }
+
+    fn value(tag: u8) -> Vec<u8> {
+        vec![tag; 20]
+    }
+
+    #[test]
+    fn active_insert_and_query() {
+        let mut es = store();
+        es.insert(b"k", &value(1)).unwrap();
+        assert_eq!(es.query_current(b"k"), QueryOutcome::Answer(value(1)));
+        assert_eq!(es.stats().active_queries, 1);
+    }
+
+    #[test]
+    fn rotation_preserves_history_in_dram() {
+        let mut es = store();
+        es.insert(b"k", &value(1)).unwrap();
+        let e0 = es.rotate();
+        assert_eq!(e0, 0);
+        assert_eq!(es.active_epoch(), 1);
+        // New epoch does not see the old key...
+        assert_eq!(es.query_current(b"k"), QueryOutcome::Empty);
+        // ...but the sealed epoch still answers.
+        assert_eq!(
+            es.query_epoch(0, b"k").unwrap(),
+            QueryOutcome::Answer(value(1))
+        );
+        assert_eq!(es.stats().dram_queries, 1);
+    }
+
+    #[test]
+    fn eviction_to_persistent_tier() {
+        let mut es = store();
+        es.insert(b"old", &value(7)).unwrap();
+        es.rotate(); // epoch 0 sealed
+        es.rotate(); // epoch 1 sealed
+        es.rotate(); // epoch 2 sealed, epoch 0 evicted (capacity 2)
+        assert_eq!(es.dram_epochs(), vec![1, 2]);
+        assert_eq!(es.archived_epochs(), vec![0]);
+        // Epoch 0 is still queryable, but from the slow tier.
+        assert_eq!(
+            es.query_epoch(0, b"old").unwrap(),
+            QueryOutcome::Answer(value(7))
+        );
+        assert_eq!(es.stats().persistent_queries, 1);
+        assert_eq!(es.stats().archived, 1);
+    }
+
+    #[test]
+    fn unknown_epoch_rejected() {
+        let mut es = store();
+        assert_eq!(es.query_epoch(99, b"k"), Err(DartError::UnknownEpoch(99)));
+    }
+
+    #[test]
+    fn query_epoch_hits_active_epoch() {
+        let mut es = store();
+        es.insert(b"k", &value(3)).unwrap();
+        let active = es.active_epoch();
+        assert_eq!(
+            es.query_epoch(active, b"k").unwrap(),
+            QueryOutcome::Answer(value(3))
+        );
+    }
+
+    #[test]
+    fn epochs_isolate_values() {
+        let mut es = store();
+        es.insert(b"k", &value(1)).unwrap();
+        es.rotate();
+        es.insert(b"k", &value(2)).unwrap();
+        es.rotate();
+        assert_eq!(
+            es.query_epoch(0, b"k").unwrap(),
+            QueryOutcome::Answer(value(1))
+        );
+        assert_eq!(
+            es.query_epoch(1, b"k").unwrap(),
+            QueryOutcome::Answer(value(2))
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! The query path: from `N` raw slots to an answer (or no answer).
+//!
+//! Reading a key fetches its `N` slots, keeps the values whose stored
+//! checksum matches the key's, and then a *return policy* decides what to
+//! answer (§4). Policies trade **empty returns** (no answer although the
+//! key was reported) against **return errors** (a wrong value returned
+//! because an overwriting key collided on both slot address and
+//! checksum):
+//!
+//! * [`ReturnPolicy::UniqueValue`] — the paper's introductory scheme:
+//!   answer only if exactly one *distinct* value matches.
+//! * [`ReturnPolicy::FirstMatch`] — answer the first matching value;
+//!   maximally answerable, maximally error-prone (used to measure Fig. 5's
+//!   worst case).
+//! * [`ReturnPolicy::Plurality`] — the paper's suggested default: majority
+//!   vote among matching values, ties treated as empty.
+//! * [`ReturnPolicy::Consensus`] — require at least `k` identical matching
+//!   values; chooses fewer errors at the cost of more empties, decidable
+//!   per query without changing stored state.
+
+/// How to turn matching slot values into an answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReturnPolicy {
+    /// Answer iff exactly one distinct value matches the checksum.
+    UniqueValue,
+    /// Answer the first checksum-matching value.
+    FirstMatch,
+    /// Plurality vote among matching values; ties → empty.
+    Plurality,
+    /// Require at least this many identical matching values (≥ 2).
+    Consensus(u8),
+}
+
+/// The result of a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// A value was returned (it may still be wrong — see
+    /// [`QueryClass::ReturnError`]).
+    Answer(Vec<u8>),
+    /// No answer could be determined ("empty return", §4).
+    Empty,
+}
+
+impl QueryOutcome {
+    /// The answered value, if any.
+    pub fn value(&self) -> Option<&[u8]> {
+        match self {
+            QueryOutcome::Answer(v) => Some(v),
+            QueryOutcome::Empty => None,
+        }
+    }
+
+    /// Whether an answer was returned.
+    pub fn is_answer(&self) -> bool {
+        matches!(self, QueryOutcome::Answer(_))
+    }
+}
+
+/// Ground-truth classification of an outcome (§4 terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryClass {
+    /// The correct value was returned.
+    Correct,
+    /// No value was returned although the key had been reported.
+    EmptyReturn,
+    /// A wrong value was returned.
+    ReturnError,
+}
+
+/// Classify `outcome` against the true value of the key.
+pub fn classify(outcome: &QueryOutcome, truth: &[u8]) -> QueryClass {
+    match outcome {
+        QueryOutcome::Empty => QueryClass::EmptyReturn,
+        QueryOutcome::Answer(v) if v == truth => QueryClass::Correct,
+        QueryOutcome::Answer(_) => QueryClass::ReturnError,
+    }
+}
+
+/// Apply a return policy to the checksum-matching values of a key's `N`
+/// slots (in copy order).
+pub fn decide(matches: &[&[u8]], policy: ReturnPolicy) -> QueryOutcome {
+    if matches.is_empty() {
+        return QueryOutcome::Empty;
+    }
+    match policy {
+        ReturnPolicy::FirstMatch => QueryOutcome::Answer(matches[0].to_vec()),
+        ReturnPolicy::UniqueValue => {
+            let first = matches[0];
+            if matches.iter().all(|v| *v == first) {
+                QueryOutcome::Answer(first.to_vec())
+            } else {
+                QueryOutcome::Empty
+            }
+        }
+        ReturnPolicy::Plurality => {
+            let (winner, count, tied) = plurality(matches);
+            if tied || count == 0 {
+                QueryOutcome::Empty
+            } else {
+                QueryOutcome::Answer(winner.to_vec())
+            }
+        }
+        ReturnPolicy::Consensus(k) => {
+            let k = usize::from(k.max(2));
+            let (winner, count, tied) = plurality(matches);
+            if !tied && count >= k {
+                QueryOutcome::Answer(winner.to_vec())
+            } else {
+                QueryOutcome::Empty
+            }
+        }
+    }
+}
+
+/// Find the most frequent value; returns `(value, count, tie)`.
+fn plurality<'a>(matches: &[&'a [u8]]) -> (&'a [u8], usize, bool) {
+    debug_assert!(!matches.is_empty());
+    let mut best: &[u8] = matches[0];
+    let mut best_count = 0usize;
+    let mut tie = false;
+    // N is tiny (≤ 4 in practice); quadratic counting beats hashing.
+    for (i, &candidate) in matches.iter().enumerate() {
+        // Count only the first occurrence of each distinct value.
+        if matches[..i].contains(&candidate) {
+            continue;
+        }
+        let count = matches.iter().filter(|&&v| v == candidate).count();
+        match count.cmp(&best_count) {
+            core::cmp::Ordering::Greater => {
+                best = candidate;
+                best_count = count;
+                tie = false;
+            }
+            core::cmp::Ordering::Equal => tie = true,
+            core::cmp::Ordering::Less => {}
+        }
+    }
+    (best, best_count, tie)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: &[u8] = b"aaaa";
+    const B: &[u8] = b"bbbb";
+    const C: &[u8] = b"cccc";
+
+    #[test]
+    fn no_matches_is_empty_for_all_policies() {
+        for policy in [
+            ReturnPolicy::UniqueValue,
+            ReturnPolicy::FirstMatch,
+            ReturnPolicy::Plurality,
+            ReturnPolicy::Consensus(2),
+        ] {
+            assert_eq!(decide(&[], policy), QueryOutcome::Empty);
+        }
+    }
+
+    #[test]
+    fn unique_value_semantics() {
+        assert_eq!(
+            decide(&[A, A], ReturnPolicy::UniqueValue),
+            QueryOutcome::Answer(A.to_vec())
+        );
+        // Two distinct values with matching checksums → empty (§4).
+        assert_eq!(
+            decide(&[A, B], ReturnPolicy::UniqueValue),
+            QueryOutcome::Empty
+        );
+        assert_eq!(
+            decide(&[A], ReturnPolicy::UniqueValue),
+            QueryOutcome::Answer(A.to_vec())
+        );
+    }
+
+    #[test]
+    fn first_match_semantics() {
+        assert_eq!(
+            decide(&[B, A], ReturnPolicy::FirstMatch),
+            QueryOutcome::Answer(B.to_vec())
+        );
+    }
+
+    #[test]
+    fn plurality_semantics() {
+        assert_eq!(
+            decide(&[A, B, A], ReturnPolicy::Plurality),
+            QueryOutcome::Answer(A.to_vec())
+        );
+        // 2-2 tie → empty.
+        assert_eq!(
+            decide(&[A, B, A, B], ReturnPolicy::Plurality),
+            QueryOutcome::Empty
+        );
+        // Singleton is a plurality of one.
+        assert_eq!(
+            decide(&[C], ReturnPolicy::Plurality),
+            QueryOutcome::Answer(C.to_vec())
+        );
+        // 1-1-1 tie → empty.
+        assert_eq!(
+            decide(&[A, B, C], ReturnPolicy::Plurality),
+            QueryOutcome::Empty
+        );
+    }
+
+    #[test]
+    fn consensus_semantics() {
+        assert_eq!(
+            decide(&[A], ReturnPolicy::Consensus(2)),
+            QueryOutcome::Empty
+        );
+        assert_eq!(
+            decide(&[A, A], ReturnPolicy::Consensus(2)),
+            QueryOutcome::Answer(A.to_vec())
+        );
+        assert_eq!(
+            decide(&[A, A, B], ReturnPolicy::Consensus(2)),
+            QueryOutcome::Answer(A.to_vec())
+        );
+        assert_eq!(
+            decide(&[A, A, B], ReturnPolicy::Consensus(3)),
+            QueryOutcome::Empty
+        );
+        // Consensus below 2 is clamped to 2.
+        assert_eq!(
+            decide(&[A], ReturnPolicy::Consensus(0)),
+            QueryOutcome::Empty
+        );
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(
+            classify(&QueryOutcome::Answer(A.to_vec()), A),
+            QueryClass::Correct
+        );
+        assert_eq!(
+            classify(&QueryOutcome::Answer(B.to_vec()), A),
+            QueryClass::ReturnError
+        );
+        assert_eq!(classify(&QueryOutcome::Empty, A), QueryClass::EmptyReturn);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        let answer = QueryOutcome::Answer(A.to_vec());
+        assert!(answer.is_answer());
+        assert_eq!(answer.value(), Some(A));
+        assert!(!QueryOutcome::Empty.is_answer());
+        assert_eq!(QueryOutcome::Empty.value(), None);
+    }
+}

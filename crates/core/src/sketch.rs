@@ -1,0 +1,257 @@
+//! Network-wide sketch aggregation in collector memory (§7).
+//!
+//! "Fetch & Add can be used … to perform network-wide aggregation of
+//! sketches." The idea: the *sketch lives in collector DRAM*, not on the
+//! switches. Every switch increments the same Count-Min sketch (Cormode & Muthukrishnan)
+//! with RDMA FETCH_ADD operations — `d` atomics per update, one per row —
+//! so counters from the whole network aggregate in one place without any
+//! switch storing per-flow state and without collector CPU involvement.
+//!
+//! Layout: `d` rows × `w` 64-bit counters, row-major, at a base virtual
+//! address inside a registered memory region:
+//!
+//! ```text
+//! row 0: [c₀₀ c₀₁ … c₀,w₋₁] row 1: […] … row d−1: […]   (8 B each, BE)
+//! ```
+//!
+//! [`CmSketchGeometry`] computes the target addresses (switch side — the
+//! same stateless-hashing trick as the key-value store, using the per-row
+//! domain-separated hashes) and [`CmSketchView`] answers point queries
+//! over the raw bytes (operator side). The standard CM guarantee holds:
+//! estimates never undercount, and overcount by more than `2n/w` with
+//! probability at most `2^{−d}`-ish.
+
+use crate::error::DartError;
+use crate::hash::hash_bytes;
+
+/// Geometry of a Count-Min sketch living in remote memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmSketchGeometry {
+    /// Virtual address of counter (0, 0).
+    pub base_va: u64,
+    /// Rows (`d` independent hash functions).
+    pub depth: u32,
+    /// Counters per row (`w`).
+    pub width: u64,
+    /// Hash seed shared by all writers and readers.
+    pub seed: u64,
+}
+
+impl CmSketchGeometry {
+    /// Validate parameters.
+    pub fn validate(&self) -> Result<(), DartError> {
+        if self.depth == 0 {
+            return Err(DartError::InvalidConfig("sketch depth must be >= 1"));
+        }
+        if self.width == 0 {
+            return Err(DartError::InvalidConfig("sketch width must be >= 1"));
+        }
+        if self.base_va % 8 != 0 {
+            return Err(DartError::InvalidConfig(
+                "sketch base must be 8-byte aligned for atomics",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Total bytes of collector memory the sketch occupies.
+    pub fn bytes(&self) -> u64 {
+        u64::from(self.depth) * self.width * 8
+    }
+
+    /// Column of `key` in `row`.
+    pub fn column(&self, key: &[u8], row: u32) -> u64 {
+        hash_bytes(key, self.seed ^ row_seed(row)) % self.width
+    }
+
+    /// The virtual address of `key`'s counter in `row` — the FETCH_ADD
+    /// target a switch computes (stateless, like slot addresses).
+    pub fn counter_va(&self, key: &[u8], row: u32) -> u64 {
+        self.base_va + (u64::from(row) * self.width + self.column(key, row)) * 8
+    }
+
+    /// All `d` FETCH_ADD targets for one update of `key`.
+    pub fn update_vas(&self, key: &[u8]) -> Vec<u64> {
+        (0..self.depth)
+            .map(|row| self.counter_va(key, row))
+            .collect()
+    }
+}
+
+/// Per-row hash domain separation for the sketch's `d` hash functions.
+fn row_seed(row: u32) -> u64 {
+    0x5CE7_C000_0000_0000 | u64::from(row)
+}
+
+/// A read-only view over the sketch's bytes for operator queries.
+#[derive(Debug, Clone, Copy)]
+pub struct CmSketchView<'a> {
+    geometry: CmSketchGeometry,
+    /// The memory region bytes, with `region_base_va` mapping byte 0.
+    memory: &'a [u8],
+    region_base_va: u64,
+}
+
+impl<'a> CmSketchView<'a> {
+    /// Build a view; the sketch must fit inside `memory`.
+    pub fn new(
+        geometry: CmSketchGeometry,
+        memory: &'a [u8],
+        region_base_va: u64,
+    ) -> Result<CmSketchView<'a>, DartError> {
+        geometry.validate()?;
+        let start = geometry
+            .base_va
+            .checked_sub(region_base_va)
+            .ok_or(DartError::InvalidConfig("sketch below region base"))?;
+        let end = start
+            .checked_add(geometry.bytes())
+            .ok_or(DartError::InvalidConfig("sketch size overflows"))?;
+        if end > memory.len() as u64 {
+            return Err(DartError::GeometryMismatch {
+                expected: end as usize,
+                actual: memory.len(),
+            });
+        }
+        Ok(CmSketchView {
+            geometry,
+            memory,
+            region_base_va,
+        })
+    }
+
+    fn counter(&self, va: u64) -> u64 {
+        let off = (va - self.region_base_va) as usize;
+        u64::from_be_bytes(self.memory[off..off + 8].try_into().expect("8-byte slice"))
+    }
+
+    /// The Count-Min point estimate for `key`: the minimum over rows.
+    /// Never under-counts the true total added for `key`.
+    pub fn estimate(&self, key: &[u8]) -> u64 {
+        (0..self.geometry.depth)
+            .map(|row| self.counter(self.geometry.counter_va(key, row)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Sum of row 0 — the total weight `n` added into the sketch
+    /// (every update adds its amount to every row).
+    pub fn total_weight(&self) -> u64 {
+        (0..self.geometry.width)
+            .map(|c| self.counter(self.geometry.base_va + c * 8))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> CmSketchGeometry {
+        CmSketchGeometry {
+            base_va: 0x1000,
+            depth: 4,
+            width: 512,
+            seed: 9,
+        }
+    }
+
+    /// Local reference updater (what FETCH_ADDs do remotely).
+    fn apply(geometry: &CmSketchGeometry, memory: &mut [u8], base: u64, key: &[u8], amount: u64) {
+        for va in geometry.update_vas(key) {
+            let off = (va - base) as usize;
+            let old = u64::from_be_bytes(memory[off..off + 8].try_into().unwrap());
+            memory[off..off + 8].copy_from_slice(&(old + amount).to_be_bytes());
+        }
+    }
+
+    #[test]
+    fn validation() {
+        assert!(geometry().validate().is_ok());
+        assert!(CmSketchGeometry {
+            depth: 0,
+            ..geometry()
+        }
+        .validate()
+        .is_err());
+        assert!(CmSketchGeometry {
+            width: 0,
+            ..geometry()
+        }
+        .validate()
+        .is_err());
+        assert!(CmSketchGeometry {
+            base_va: 0x1001,
+            ..geometry()
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn geometry_bytes_and_addresses() {
+        let g = geometry();
+        assert_eq!(g.bytes(), 4 * 512 * 8);
+        for row in 0..4 {
+            let va = g.counter_va(b"flow", row);
+            assert!(va >= g.base_va && va < g.base_va + g.bytes());
+            assert_eq!(va % 8, 0, "atomics need alignment");
+            // Row-locality: row r addresses live in row r's stripe.
+            let stripe = (va - g.base_va) / (512 * 8);
+            assert_eq!(stripe, u64::from(row));
+        }
+        assert_eq!(g.update_vas(b"flow").len(), 4);
+    }
+
+    #[test]
+    fn estimates_never_undercount() {
+        let g = geometry();
+        let base = 0x1000u64;
+        let mut memory = vec![0u8; g.bytes() as usize];
+        let keys: Vec<Vec<u8>> = (0..200u32).map(|i| i.to_le_bytes().to_vec()).collect();
+        for (i, key) in keys.iter().enumerate() {
+            apply(&g, &mut memory, base, key, (i as u64 % 7) + 1);
+        }
+        let view = CmSketchView::new(g, &memory, base).unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            let truth = (i as u64 % 7) + 1;
+            assert!(view.estimate(key) >= truth, "undercount for key {i}");
+        }
+    }
+
+    #[test]
+    fn error_bound_holds_on_average() {
+        let g = geometry();
+        let base = 0x1000;
+        let mut memory = vec![0u8; g.bytes() as usize];
+        let mut total = 0u64;
+        for i in 0..500u32 {
+            apply(&g, &mut memory, base, &i.to_le_bytes(), 1);
+            total += 1;
+        }
+        let view = CmSketchView::new(g, &memory, base).unwrap();
+        assert_eq!(view.total_weight(), total);
+        // CM bound: overcount ≤ 2n/w with prob ≥ 1 − 2^−d per key;
+        // check the *mean* overcount is comfortably below the bound.
+        let bound = 2.0 * total as f64 / g.width as f64;
+        let mean_over: f64 = (0..500u32)
+            .map(|i| (view.estimate(&i.to_le_bytes()) - 1) as f64)
+            .sum::<f64>()
+            / 500.0;
+        assert!(
+            mean_over <= bound,
+            "mean overcount {mean_over} above CM bound {bound}"
+        );
+    }
+
+    #[test]
+    fn view_geometry_checked() {
+        let g = geometry();
+        let too_small = vec![0u8; 16];
+        assert!(CmSketchView::new(g, &too_small, 0x1000).is_err());
+        assert!(
+            CmSketchView::new(g, &too_small, 0x2000).is_err(),
+            "below base"
+        );
+    }
+}

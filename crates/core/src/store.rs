@@ -1,0 +1,502 @@
+//! The DART store: a flat byte region treated as a hash table of slots.
+//!
+//! [`DartStore`] owns its memory (simulation mode). [`StoreView`] applies
+//! the identical read path to memory owned elsewhere — in particular a
+//! registered RDMA memory region that switches have been writing into
+//! (`dta-collector` queries through a `StoreView` so the "zero-CPU insert"
+//! property is preserved: the CPU only ever *reads*).
+
+use crate::config::{DartConfig, WriteStrategy};
+use crate::error::DartError;
+use crate::hash::AddressMapping;
+use crate::query::{decide, QueryOutcome, ReturnPolicy};
+
+/// Counters maintained by the write path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Keys inserted via [`DartStore::insert`].
+    pub keys_inserted: u64,
+    /// Individual slot writes performed.
+    pub slot_writes: u64,
+    /// Conditional (CAS) writes that found the slot occupied and skipped.
+    pub cas_skips: u64,
+}
+
+/// An owned DART key-value store for one collector.
+pub struct DartStore {
+    config: DartConfig,
+    mapping: Box<dyn AddressMapping>,
+    memory: Vec<u8>,
+    stats: StoreStats,
+}
+
+impl DartStore {
+    /// Allocate a zeroed store for `config`.
+    pub fn new(config: DartConfig) -> DartStore {
+        let bytes = config.bytes_per_collector();
+        let mapping = config.mapping.build();
+        DartStore {
+            config,
+            mapping,
+            memory: vec![0u8; bytes],
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Wrap existing memory (must match the configured geometry).
+    pub fn from_memory(config: DartConfig, memory: Vec<u8>) -> Result<DartStore, DartError> {
+        config.validate()?;
+        if memory.len() != config.bytes_per_collector() {
+            return Err(DartError::GeometryMismatch {
+                expected: config.bytes_per_collector(),
+                actual: memory.len(),
+            });
+        }
+        let mapping = config.mapping.build();
+        Ok(DartStore {
+            config,
+            mapping,
+            memory,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DartConfig {
+        &self.config
+    }
+
+    /// Write-path counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// The raw backing memory.
+    pub fn memory(&self) -> &[u8] {
+        &self.memory
+    }
+
+    /// Reset all slots to zero and clear counters.
+    pub fn clear(&mut self) {
+        self.memory.fill(0);
+        self.stats = StoreStats::default();
+    }
+
+    /// Fraction of slots holding data (any non-zero byte). A direct
+    /// load signal for the §5.1 adaptive-N controller — unlike write
+    /// counters it saturates as the table fills: occupancy
+    /// `≈ 1 − e^{−αN}` at load α.
+    pub fn occupancy(&self) -> f64 {
+        let slot_len = self.config.layout.slot_len();
+        let occupied = self
+            .memory
+            .chunks_exact(slot_len)
+            .filter(|slot| slot.iter().any(|&b| b != 0))
+            .count();
+        occupied as f64 / self.config.slots as f64
+    }
+
+    fn slot_range(&self, slot: u64) -> Result<core::ops::Range<usize>, DartError> {
+        if slot >= self.config.slots {
+            return Err(DartError::SlotOutOfRange {
+                slot,
+                slots: self.config.slots,
+            });
+        }
+        let len = self.config.layout.slot_len();
+        let start = slot as usize * len;
+        Ok(start..start + len)
+    }
+
+    /// Insert a key-value pair: write all `N` copies according to the
+    /// configured [`WriteStrategy`].
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), DartError> {
+        let layout = self.config.layout;
+        if value.len() != layout.value_len {
+            return Err(DartError::ValueLength {
+                expected: layout.value_len,
+                actual: value.len(),
+            });
+        }
+        let checksum = self.mapping.key_checksum(key);
+        let mut encoded = vec![0u8; layout.slot_len()];
+        layout
+            .encode(checksum, value, &mut encoded)
+            .expect("length checked");
+
+        match self.config.strategy {
+            WriteStrategy::AllSlots => {
+                for copy in 0..self.config.copies {
+                    let slot = self.mapping.slot(key, copy, self.config.slots);
+                    self.write_slot_bytes(slot, &encoded)?;
+                }
+            }
+            WriteStrategy::WriteThenCas => {
+                // Copy 0: unconditional RDMA WRITE.
+                let slot0 = self.mapping.slot(key, 0, self.config.slots);
+                self.write_slot_bytes(slot0, &encoded)?;
+                // Copy 1: COMPARE_SWAP(compare = empty) — fills the second
+                // slot only if it is unoccupied (§7).
+                let slot1 = self.mapping.slot(key, 1, self.config.slots);
+                let range = self.slot_range(slot1)?;
+                if self.memory[range.clone()].iter().all(|&b| b == 0) {
+                    self.memory[range].copy_from_slice(&encoded);
+                    self.stats.slot_writes += 1;
+                } else {
+                    self.stats.cas_skips += 1;
+                }
+            }
+        }
+        self.stats.keys_inserted += 1;
+        Ok(())
+    }
+
+    /// Write a single copy of a key (what one RDMA WRITE from one
+    /// mirrored report packet does; the Tofino picks `copy` at random
+    /// per report, §6).
+    pub fn insert_copy(&mut self, key: &[u8], value: &[u8], copy: u8) -> Result<(), DartError> {
+        let layout = self.config.layout;
+        if value.len() != layout.value_len {
+            return Err(DartError::ValueLength {
+                expected: layout.value_len,
+                actual: value.len(),
+            });
+        }
+        let checksum = self.mapping.key_checksum(key);
+        let mut encoded = vec![0u8; layout.slot_len()];
+        layout
+            .encode(checksum, value, &mut encoded)
+            .expect("length checked");
+        let slot = self.mapping.slot(key, copy, self.config.slots);
+        self.write_slot_bytes(slot, &encoded)
+    }
+
+    /// Write raw slot bytes (the NIC DMA path: bytes land wherever the
+    /// RETH points, no interpretation).
+    pub fn write_slot_bytes(&mut self, slot: u64, bytes: &[u8]) -> Result<(), DartError> {
+        let range = self.slot_range(slot)?;
+        self.memory[range].copy_from_slice(&bytes[..self.config.layout.slot_len()]);
+        self.stats.slot_writes += 1;
+        Ok(())
+    }
+
+    /// Query under the configured default policy.
+    pub fn query(&self, key: &[u8]) -> QueryOutcome {
+        self.query_with_policy(key, self.config.policy)
+    }
+
+    /// Query under an explicit policy (§4: the policy is a per-query
+    /// decision, no stored state changes).
+    pub fn query_with_policy(&self, key: &[u8], policy: ReturnPolicy) -> QueryOutcome {
+        self.view().query_with_policy(key, policy)
+    }
+
+    /// A read-only view over this store's memory.
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView {
+            config: &self.config,
+            mapping: self.mapping.as_ref(),
+            memory: &self.memory,
+        }
+    }
+}
+
+impl Clone for DartStore {
+    fn clone(&self) -> Self {
+        let mut copy = DartStore::from_memory(self.config.clone(), self.memory.clone())
+            .expect("geometry is self-consistent");
+        copy.stats = self.stats;
+        copy
+    }
+}
+
+impl core::fmt::Debug for DartStore {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("DartStore")
+            .field("slots", &self.config.slots)
+            .field("slot_len", &self.config.layout.slot_len())
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A read-only DART query engine over externally owned memory.
+pub struct StoreView<'a> {
+    config: &'a DartConfig,
+    mapping: &'a dyn AddressMapping,
+    memory: &'a [u8],
+}
+
+impl<'a> StoreView<'a> {
+    /// Build a view over foreign memory (e.g. an RDMA memory region).
+    ///
+    /// `mapping` must be built from `config.mapping` — use
+    /// [`OwnedQueryEngine`] if you need the view to own it.
+    pub fn over(
+        config: &'a DartConfig,
+        mapping: &'a dyn AddressMapping,
+        memory: &'a [u8],
+    ) -> Result<StoreView<'a>, DartError> {
+        if memory.len() != config.bytes_per_collector() {
+            return Err(DartError::GeometryMismatch {
+                expected: config.bytes_per_collector(),
+                actual: memory.len(),
+            });
+        }
+        Ok(StoreView {
+            config,
+            mapping,
+            memory,
+        })
+    }
+
+    /// Read the `N` candidate slots for `key` and keep checksum matches.
+    pub fn matching_values(&self, key: &[u8]) -> Vec<&'a [u8]> {
+        let layout = self.config.layout;
+        let expected = layout.checksum.truncate(self.mapping.key_checksum(key));
+        let slot_len = layout.slot_len();
+        let mut matches = Vec::with_capacity(usize::from(self.config.copies));
+        for copy in 0..self.config.copies {
+            let slot = self.mapping.slot(key, copy, self.config.slots);
+            let start = slot as usize * slot_len;
+            let slot_bytes = &self.memory[start..start + slot_len];
+            if let Ok((stored, value)) = layout.decode(slot_bytes) {
+                if stored == expected {
+                    matches.push(value);
+                }
+            }
+        }
+        matches
+    }
+
+    /// Query under an explicit policy.
+    pub fn query_with_policy(&self, key: &[u8], policy: ReturnPolicy) -> QueryOutcome {
+        decide(&self.matching_values(key), policy)
+    }
+
+    /// Query under the configuration's default policy.
+    pub fn query(&self, key: &[u8]) -> QueryOutcome {
+        self.query_with_policy(key, self.config.policy)
+    }
+}
+
+/// A query engine that owns its mapping — convenient when querying RDMA
+/// memory repeatedly without borrowing gymnastics.
+pub struct OwnedQueryEngine {
+    config: DartConfig,
+    mapping: Box<dyn AddressMapping>,
+}
+
+impl OwnedQueryEngine {
+    /// Build from a configuration.
+    pub fn new(config: DartConfig) -> Result<OwnedQueryEngine, DartError> {
+        config.validate()?;
+        let mapping = config.mapping.build();
+        Ok(OwnedQueryEngine { config, mapping })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DartConfig {
+        &self.config
+    }
+
+    /// Query `key` against `memory` under the default policy.
+    pub fn query(&self, memory: &[u8], key: &[u8]) -> Result<QueryOutcome, DartError> {
+        self.query_with_policy(memory, key, self.config.policy)
+    }
+
+    /// Query `key` against `memory` under an explicit policy.
+    pub fn query_with_policy(
+        &self,
+        memory: &[u8],
+        key: &[u8],
+        policy: ReturnPolicy,
+    ) -> Result<QueryOutcome, DartError> {
+        let view = StoreView::over(&self.config, self.mapping.as_ref(), memory)?;
+        Ok(view.query_with_policy(key, policy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DartConfig;
+    use crate::query::{classify, QueryClass};
+
+    fn config(slots: u64) -> DartConfig {
+        DartConfig::builder()
+            .slots(slots)
+            .copies(2)
+            .value_len(20)
+            .build()
+            .unwrap()
+    }
+
+    fn value(tag: u8) -> Vec<u8> {
+        vec![tag; 20]
+    }
+
+    #[test]
+    fn insert_then_query_answers() {
+        let mut store = DartStore::new(config(1 << 12));
+        store.insert(b"k1", &value(1)).unwrap();
+        assert_eq!(store.query(b"k1"), QueryOutcome::Answer(value(1)));
+    }
+
+    #[test]
+    fn unreported_key_is_empty() {
+        let store = DartStore::new(config(1 << 12));
+        assert_eq!(store.query(b"never"), QueryOutcome::Empty);
+    }
+
+    #[test]
+    fn overwrite_updates_value() {
+        let mut store = DartStore::new(config(1 << 12));
+        store.insert(b"k1", &value(1)).unwrap();
+        store.insert(b"k1", &value(2)).unwrap();
+        assert_eq!(store.query(b"k1"), QueryOutcome::Answer(value(2)));
+    }
+
+    #[test]
+    fn stats_track_writes() {
+        let mut store = DartStore::new(config(1 << 12));
+        store.insert(b"k1", &value(1)).unwrap();
+        store.insert(b"k2", &value(2)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.keys_inserted, 2);
+        assert_eq!(stats.slot_writes, 4); // N = 2 copies each
+    }
+
+    #[test]
+    fn heavy_load_ages_out_old_keys() {
+        // 256 slots, 2048 keys: early keys are almost surely overwritten.
+        let mut store = DartStore::new(config(256));
+        store.insert(b"victim", &value(9)).unwrap();
+        for i in 0..2048u32 {
+            store
+                .insert(format!("k{i}").as_bytes(), &value((i % 251) as u8))
+                .unwrap();
+        }
+        // The victim should no longer be answerable correctly; with
+        // 32-bit checksums a wrong answer is essentially impossible, so
+        // expect Empty.
+        let outcome = store.query(b"victim");
+        assert_eq!(classify(&outcome, &value(9)), QueryClass::EmptyReturn);
+    }
+
+    #[test]
+    fn insert_copy_fills_one_slot() {
+        let mut store = DartStore::new(config(1 << 12));
+        store.insert_copy(b"k1", &value(3), 0).unwrap();
+        assert_eq!(store.stats().slot_writes, 1);
+        // One copy is already answerable.
+        assert_eq!(store.query(b"k1"), QueryOutcome::Answer(value(3)));
+    }
+
+    #[test]
+    fn value_length_enforced() {
+        let mut store = DartStore::new(config(64));
+        assert!(matches!(
+            store.insert(b"k", &[0u8; 3]),
+            Err(DartError::ValueLength { .. })
+        ));
+        assert!(matches!(
+            store.insert_copy(b"k", &[0u8; 3], 0),
+            Err(DartError::ValueLength { .. })
+        ));
+    }
+
+    #[test]
+    fn raw_slot_write_bounds_checked() {
+        let mut store = DartStore::new(config(64));
+        let bytes = vec![0u8; 24];
+        assert!(matches!(
+            store.write_slot_bytes(64, &bytes),
+            Err(DartError::SlotOutOfRange { .. })
+        ));
+        assert!(store.write_slot_bytes(63, &bytes).is_ok());
+    }
+
+    #[test]
+    fn from_memory_validates_geometry() {
+        let cfg = config(64);
+        assert!(matches!(
+            DartStore::from_memory(cfg.clone(), vec![0u8; 10]),
+            Err(DartError::GeometryMismatch { .. })
+        ));
+        let ok = DartStore::from_memory(cfg.clone(), vec![0u8; cfg.bytes_per_collector()]);
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn view_over_foreign_memory_queries() {
+        let cfg = config(1 << 12);
+        let mut store = DartStore::new(cfg.clone());
+        store.insert(b"k1", &value(7)).unwrap();
+        let engine = OwnedQueryEngine::new(cfg).unwrap();
+        let outcome = engine.query(store.memory(), b"k1").unwrap();
+        assert_eq!(outcome, QueryOutcome::Answer(value(7)));
+    }
+
+    #[test]
+    fn owned_engine_rejects_bad_geometry() {
+        let engine = OwnedQueryEngine::new(config(64)).unwrap();
+        assert!(matches!(
+            engine.query(&[0u8; 5], b"k"),
+            Err(DartError::GeometryMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut store = DartStore::new(config(64));
+        store.insert(b"k1", &value(1)).unwrap();
+        store.clear();
+        assert_eq!(store.query(b"k1"), QueryOutcome::Empty);
+        assert_eq!(store.stats(), StoreStats::default());
+    }
+
+    #[test]
+    fn occupancy_tracks_load() {
+        let mut store = DartStore::new(config(1 << 12));
+        assert_eq!(store.occupancy(), 0.0);
+        // Insert α = 0.5 worth of keys (N = 2): occupancy ≈ 1 − e^{−1}.
+        for i in 0..(1u64 << 11) {
+            store
+                .insert(&i.to_le_bytes(), &value((i % 251) as u8))
+                .unwrap();
+        }
+        let occupancy = store.occupancy();
+        let predicted = 1.0 - (-1.0f64).exp();
+        assert!(
+            (occupancy - predicted).abs() < 0.03,
+            "occupancy {occupancy} vs predicted {predicted}"
+        );
+        store.clear();
+        assert_eq!(store.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn clone_preserves_contents() {
+        let mut store = DartStore::new(config(1 << 10));
+        store.insert(b"k1", &value(4)).unwrap();
+        let copy = store.clone();
+        assert_eq!(copy.query(b"k1"), QueryOutcome::Answer(value(4)));
+        assert_eq!(copy.stats(), store.stats());
+    }
+
+    #[test]
+    fn per_query_policy_override() {
+        let mut store = DartStore::new(config(1 << 12));
+        store.insert_copy(b"k1", &value(1), 0).unwrap();
+        // Consensus(2) needs both copies; only one was written.
+        assert_eq!(
+            store.query_with_policy(b"k1", ReturnPolicy::Consensus(2)),
+            QueryOutcome::Empty
+        );
+        assert_eq!(
+            store.query_with_policy(b"k1", ReturnPolicy::FirstMatch),
+            QueryOutcome::Answer(value(1))
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! The write path: where a report goes and what bytes it carries.
+//!
+//! [`ReportWriter`] is the stateless logic a DART switch executes per
+//! telemetry report (§3.1): hash the key to a collector, hash `(copy,
+//! key)` to a slot, and encode `checksum ‖ value` as the RDMA payload.
+//! The same object drives the pure-simulation write path (`DartStore`)
+//! and the packet-crafting path (`dta-switch`), which is what guarantees
+//! writer/reader agreement end to end.
+
+use crate::config::DartConfig;
+use crate::error::DartError;
+use crate::hash::AddressMapping;
+
+/// A located, encoded report: everything needed to issue one RDMA WRITE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocatedReport {
+    /// The collector holding all copies of this key.
+    pub collector: u32,
+    /// Slot index within that collector's region.
+    pub slot: u64,
+    /// Byte offset of the slot within the region.
+    pub offset: u64,
+    /// The slot content (`checksum ‖ value`).
+    pub bytes: Vec<u8>,
+}
+
+/// Stateless report placement and encoding.
+pub struct ReportWriter {
+    config: DartConfig,
+    mapping: Box<dyn AddressMapping>,
+}
+
+impl ReportWriter {
+    /// Build a writer for a configuration.
+    pub fn new(config: DartConfig) -> Result<ReportWriter, DartError> {
+        config.validate()?;
+        let mapping = config.mapping.build();
+        Ok(ReportWriter { config, mapping })
+    }
+
+    /// The configuration this writer follows.
+    pub fn config(&self) -> &DartConfig {
+        &self.config
+    }
+
+    /// The collector responsible for `key`.
+    ///
+    /// All `N` copies of a key live at a single collector so queries never
+    /// need inter-collector communication (§3.1).
+    pub fn collector_of(&self, key: &[u8]) -> u32 {
+        self.mapping.collector(key, self.config.collectors)
+    }
+
+    /// The slot index for copy `copy` of `key`.
+    pub fn slot_of(&self, key: &[u8], copy: u8) -> u64 {
+        self.mapping.slot(key, copy, self.config.slots)
+    }
+
+    /// All `N` slot indices for `key` (may contain duplicates when two
+    /// hashes collide — harmless, both copies land in one slot).
+    pub fn slots_of(&self, key: &[u8]) -> Vec<u64> {
+        (0..self.config.copies)
+            .map(|copy| self.slot_of(key, copy))
+            .collect()
+    }
+
+    /// The byte offset of a slot within the collector's memory region.
+    pub fn slot_offset(&self, slot: u64) -> u64 {
+        slot * self.config.layout.slot_len() as u64
+    }
+
+    /// The 32-bit key checksum before width truncation.
+    pub fn key_checksum(&self, key: &[u8]) -> u32 {
+        self.mapping.key_checksum(key)
+    }
+
+    /// Encode the slot content for `(key, value)`.
+    pub fn encode(&self, key: &[u8], value: &[u8]) -> Result<Vec<u8>, DartError> {
+        if value.len() != self.config.layout.value_len {
+            return Err(DartError::ValueLength {
+                expected: self.config.layout.value_len,
+                actual: value.len(),
+            });
+        }
+        let mut bytes = vec![0u8; self.config.layout.slot_len()];
+        self.config
+            .layout
+            .encode(self.key_checksum(key), value, &mut bytes)
+            .expect("length checked above");
+        Ok(bytes)
+    }
+
+    /// Locate and encode copy `copy` of a report — one RDMA WRITE.
+    ///
+    /// The Tofino prototype draws `copy` from its random-number generator
+    /// per mirrored packet (§6), filling all `N` slots across successive
+    /// reports of the same key.
+    pub fn locate(&self, key: &[u8], value: &[u8], copy: u8) -> Result<LocatedReport, DartError> {
+        let slot = self.slot_of(key, copy);
+        Ok(LocatedReport {
+            collector: self.collector_of(key),
+            slot,
+            offset: self.slot_offset(slot),
+            bytes: self.encode(key, value)?,
+        })
+    }
+
+    /// Locate and encode all `N` copies.
+    pub fn locate_all(&self, key: &[u8], value: &[u8]) -> Result<Vec<LocatedReport>, DartError> {
+        (0..self.config.copies)
+            .map(|copy| self.locate(key, value, copy))
+            .collect()
+    }
+}
+
+impl core::fmt::Debug for ReportWriter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ReportWriter")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DartConfig;
+
+    fn writer() -> ReportWriter {
+        ReportWriter::new(
+            DartConfig::builder()
+                .slots(1 << 16)
+                .copies(3)
+                .collectors(4)
+                .value_len(20)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let w = writer();
+        assert_eq!(w.slots_of(b"key-1"), w.slots_of(b"key-1"));
+        assert_eq!(w.collector_of(b"key-1"), w.collector_of(b"key-1"));
+    }
+
+    #[test]
+    fn all_copies_same_collector() {
+        let w = writer();
+        let reports = w.locate_all(b"key-2", &[1u8; 20]).unwrap();
+        assert_eq!(reports.len(), 3);
+        let collector = reports[0].collector;
+        assert!(reports.iter().all(|r| r.collector == collector));
+    }
+
+    #[test]
+    fn offsets_follow_slot_geometry() {
+        let w = writer();
+        let report = w.locate(b"key-3", &[2u8; 20], 1).unwrap();
+        assert_eq!(report.offset, report.slot * 24);
+        assert_eq!(report.bytes.len(), 24);
+    }
+
+    #[test]
+    fn encode_embeds_truncated_checksum() {
+        let w = writer();
+        let bytes = w.encode(b"key-4", &[9u8; 20]).unwrap();
+        let expected = w.key_checksum(b"key-4");
+        assert_eq!(&bytes[..4], &expected.to_be_bytes());
+        assert_eq!(&bytes[4..], &[9u8; 20]);
+    }
+
+    #[test]
+    fn rejects_wrong_value_length() {
+        let w = writer();
+        assert_eq!(
+            w.encode(b"key", &[0u8; 4]),
+            Err(DartError::ValueLength {
+                expected: 20,
+                actual: 4
+            })
+        );
+    }
+
+    #[test]
+    fn different_copies_usually_differ() {
+        let w = writer();
+        let slots = w.slots_of(b"key-5");
+        // 3 slots in 2^16: collision chance is tiny for one key.
+        assert_eq!(
+            slots.iter().collect::<std::collections::HashSet<_>>().len(),
+            3
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! A lossy, reordering link between switches and collector NICs.
+//!
+//! DART explicitly tolerates telemetry report loss: a dropped RDMA WRITE
+//! just leaves one of a key's `N` slots stale, and the probabilistic
+//! query path absorbs it (§3). This module injects exactly those faults
+//! so the robustness claims can be exercised: Bernoulli loss, bounded
+//! random reordering, and deterministic "drop every n-th frame" patterns
+//! for reproducible tests. Frames move over crossbeam channels so
+//! switch and collector can also run on separate threads.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Fault model applied to each frame in transit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// Deliver everything, in order.
+    Perfect,
+    /// Drop each frame independently with this probability.
+    Bernoulli {
+        /// Loss probability in `[0, 1]`.
+        loss: f64,
+    },
+    /// Drop every `n`-th frame (1-indexed; `n = 3` drops frames 3, 6, …).
+    DropNth {
+        /// The period of the drop pattern.
+        n: u64,
+    },
+    /// Deliver everything but swap each pair of consecutive frames with
+    /// this probability (adjacent reordering).
+    Reorder {
+        /// Swap probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+/// Link delivery statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames offered to the link.
+    pub sent: u64,
+    /// Frames delivered.
+    pub delivered: u64,
+    /// Frames dropped by the fault model.
+    pub dropped: u64,
+    /// Frame pairs swapped.
+    pub reordered: u64,
+}
+
+/// The transmitting end of a link.
+pub struct LinkTx {
+    tx: Sender<Vec<u8>>,
+    model: FaultModel,
+    rng: StdRng,
+    count: u64,
+    stats: LinkStats,
+    pending: Option<Vec<u8>>,
+}
+
+/// The receiving end of a link.
+pub struct LinkRx {
+    rx: Receiver<Vec<u8>>,
+}
+
+/// Create a link with the given fault model and RNG seed.
+pub fn link(model: FaultModel, seed: u64) -> (LinkTx, LinkRx) {
+    let (tx, rx) = unbounded();
+    (
+        LinkTx {
+            tx,
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            count: 0,
+            stats: LinkStats::default(),
+            pending: None,
+        },
+        LinkRx { rx },
+    )
+}
+
+impl LinkTx {
+    /// Offer a frame to the link; the fault model decides its fate.
+    pub fn send(&mut self, frame: Vec<u8>) {
+        self.count += 1;
+        self.stats.sent += 1;
+        match self.model {
+            FaultModel::Perfect => self.deliver(frame),
+            FaultModel::Bernoulli { loss } => {
+                if self.rng.gen::<f64>() < loss {
+                    self.stats.dropped += 1;
+                } else {
+                    self.deliver(frame);
+                }
+            }
+            FaultModel::DropNth { n } => {
+                if n != 0 && self.count % n == 0 {
+                    self.stats.dropped += 1;
+                } else {
+                    self.deliver(frame);
+                }
+            }
+            FaultModel::Reorder { prob } => {
+                if let Some(held) = self.pending.take() {
+                    // Decide order of (held, frame).
+                    if self.rng.gen::<f64>() < prob {
+                        self.stats.reordered += 1;
+                        self.deliver(frame);
+                        self.deliver(held);
+                    } else {
+                        self.deliver(held);
+                        self.deliver(frame);
+                    }
+                } else {
+                    self.pending = Some(frame);
+                }
+            }
+        }
+    }
+
+    /// Flush any frame held back by the reorder model.
+    pub fn flush(&mut self) {
+        if let Some(held) = self.pending.take() {
+            self.deliver(held);
+        }
+    }
+
+    fn deliver(&mut self, frame: Vec<u8>) {
+        self.stats.delivered += 1;
+        // Receiver may be gone in teardown; frames on a dead link vanish,
+        // just like on a real wire.
+        let _ = self.tx.send(frame);
+    }
+
+    /// Delivery statistics so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+}
+
+impl LinkRx {
+    /// Receive the next frame, if one is waiting.
+    pub fn try_recv(&self) -> Option<Vec<u8>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drain all waiting frames.
+    pub fn drain(&self) -> Vec<Vec<u8>> {
+        let mut frames = Vec::new();
+        while let Some(f) = self.try_recv() {
+            frames.push(f);
+        }
+        frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames(n: u64) -> Vec<Vec<u8>> {
+        (0..n).map(|i| i.to_le_bytes().to_vec()).collect()
+    }
+
+    #[test]
+    fn perfect_link_delivers_in_order() {
+        let (mut tx, rx) = link(FaultModel::Perfect, 1);
+        for f in frames(10) {
+            tx.send(f);
+        }
+        let got = rx.drain();
+        assert_eq!(got, frames(10));
+        assert_eq!(tx.stats().delivered, 10);
+        assert_eq!(tx.stats().dropped, 0);
+    }
+
+    #[test]
+    fn drop_nth_is_deterministic() {
+        let (mut tx, rx) = link(FaultModel::DropNth { n: 3 }, 1);
+        for f in frames(9) {
+            tx.send(f);
+        }
+        let got = rx.drain();
+        assert_eq!(got.len(), 6);
+        assert_eq!(tx.stats().dropped, 3);
+        // Frames 3, 6, 9 (1-indexed) = indices 2, 5, 8 are missing.
+        assert!(!got.contains(&2u64.to_le_bytes().to_vec()));
+        assert!(!got.contains(&5u64.to_le_bytes().to_vec()));
+    }
+
+    #[test]
+    fn bernoulli_loss_rate_close_to_nominal() {
+        let (mut tx, rx) = link(FaultModel::Bernoulli { loss: 0.2 }, 42);
+        for f in frames(10_000) {
+            tx.send(f);
+        }
+        let got = rx.drain().len() as f64;
+        let rate = 1.0 - got / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "observed loss {rate}");
+    }
+
+    #[test]
+    fn bernoulli_is_seed_deterministic() {
+        let run = |seed| {
+            let (mut tx, rx) = link(FaultModel::Bernoulli { loss: 0.5 }, seed);
+            for f in frames(100) {
+                tx.send(f);
+            }
+            rx.drain()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn reorder_swaps_some_pairs() {
+        let (mut tx, rx) = link(FaultModel::Reorder { prob: 1.0 }, 1);
+        for f in frames(4) {
+            tx.send(f);
+        }
+        tx.flush();
+        let got = rx.drain();
+        // With prob 1.0 every pair is swapped: 1,0,3,2.
+        assert_eq!(
+            got,
+            vec![
+                1u64.to_le_bytes().to_vec(),
+                0u64.to_le_bytes().to_vec(),
+                3u64.to_le_bytes().to_vec(),
+                2u64.to_le_bytes().to_vec(),
+            ]
+        );
+        assert_eq!(tx.stats().reordered, 2);
+    }
+
+    #[test]
+    fn flush_releases_held_frame() {
+        let (mut tx, rx) = link(FaultModel::Reorder { prob: 0.0 }, 1);
+        tx.send(vec![9]);
+        assert!(rx.try_recv().is_none(), "frame held for pairing");
+        tx.flush();
+        assert_eq!(rx.try_recv().unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn try_recv_empty() {
+        let (_tx, rx) = link(FaultModel::Perfect, 1);
+        assert!(rx.try_recv().is_none());
+    }
+}

@@ -1,0 +1,325 @@
+//! The §7 "native direct telemetry access" protocol: a SmartNIC-style
+//! multi-write primitive.
+//!
+//! Standard RDMA allows one memory write per packet, so a key's `N`
+//! redundant slots cost `N` packets — the paper's main network overhead.
+//! §7 proposes programmable NICs that accept a single packet carrying
+//! one payload plus a *list* of target addresses and issue one DMA per
+//! address ("a new primitive for inserting the same data into multiple
+//! memory addresses").
+//!
+//! [`NativeNic`] wraps an [`RNic`] and terminates that protocol: a
+//! RoCEv2 SEND whose payload is a [`dta_wire::dart::MultiWriteRepr`]
+//! framing (magic-prefixed) is fanned out into `n_addrs` validated DMA
+//! writes against the rkey carried in the frame. Everything else —
+//! parsing, iCRC, QP/PSN, rkey and bounds checks — is inherited
+//! unchanged from the standard pipeline.
+
+use dta_wire::dart::MultiWriteRepr;
+
+use crate::mr::AccessKind;
+use crate::nic::{DropReason, RNic, RxAction, RxOutcome};
+
+/// Magic tag opening a native multi-write payload (ASCII "DTA1").
+pub const MULTIWRITE_MAGIC: [u8; 4] = *b"DTA1";
+
+/// Counters specific to the native protocol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NativeCounters {
+    /// Multi-write packets executed.
+    pub multiwrites: u64,
+    /// Individual DMA writes fanned out.
+    pub fanout_writes: u64,
+    /// Multi-write packets rejected (malformed / bounds).
+    pub rejected: u64,
+}
+
+/// What the native layer did with a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NativeAction {
+    /// A multi-write executed: payload replicated into `writes` slots.
+    MultiWriteExecuted {
+        /// Number of addresses written.
+        writes: usize,
+        /// Payload bytes per address.
+        len: usize,
+    },
+    /// The frame was not a native multi-write; the inner action applies.
+    Passthrough(RxAction),
+    /// A native frame was recognized but rejected.
+    Rejected(DropReason),
+}
+
+/// An [`RNic`] extended with the native multi-write primitive.
+///
+/// The rkey used for fan-out writes is fixed at construction (the DART
+/// telemetry region) — a real SmartNIC would carry it in the protocol
+/// header; pinning it narrows the attack surface in the simulation.
+pub struct NativeNic {
+    nic: RNic,
+    rkey: u32,
+    counters: NativeCounters,
+}
+
+impl NativeNic {
+    /// Wrap a NIC; fan-out writes target the region registered under
+    /// `rkey`.
+    pub fn new(nic: RNic, rkey: u32) -> NativeNic {
+        NativeNic {
+            nic,
+            rkey,
+            counters: NativeCounters::default(),
+        }
+    }
+
+    /// The wrapped standard NIC.
+    pub fn nic(&self) -> &RNic {
+        &self.nic
+    }
+
+    /// Mutable access to the wrapped NIC.
+    pub fn nic_mut(&mut self) -> &mut RNic {
+        &mut self.nic
+    }
+
+    /// Native-protocol counters.
+    pub fn counters(&self) -> NativeCounters {
+        self.counters
+    }
+
+    /// Process a frame: SENDs carrying the magic are terminated as
+    /// multi-writes, everything else follows the standard pipeline.
+    pub fn handle_frame(&mut self, frame: &[u8]) -> NativeAction {
+        let outcome: RxOutcome = self.nic.handle_frame(frame);
+        match outcome.action {
+            RxAction::SendDelivered { .. } => {
+                // The standard pipeline queued the SEND payload; claim it.
+                let payload = match self.nic.pop_send() {
+                    Some(p) => p,
+                    None => return NativeAction::Passthrough(RxAction::SendDelivered { len: 0 }),
+                };
+                if payload.len() < 4 || payload[..4] != MULTIWRITE_MAGIC {
+                    // Not ours: put it back for the control plane.
+                    self.nic.push_send_back(payload);
+                    return NativeAction::Passthrough(RxAction::SendDelivered { len: 0 });
+                }
+                self.execute_multiwrite(&payload[4..])
+            }
+            other => NativeAction::Passthrough(other),
+        }
+    }
+
+    fn execute_multiwrite(&mut self, body: &[u8]) -> NativeAction {
+        let repr = match MultiWriteRepr::parse(body) {
+            Ok(r) => r,
+            Err(_) => {
+                self.counters.rejected += 1;
+                return NativeAction::Rejected(DropReason::Malformed);
+            }
+        };
+        let mr = match self.nic.mr(self.rkey) {
+            Some(mr) => mr.clone(),
+            None => {
+                self.counters.rejected += 1;
+                return NativeAction::Rejected(DropReason::BadRkey);
+            }
+        };
+        // Validate every address before touching memory: the primitive
+        // is all-or-nothing, like a hardware DMA descriptor chain.
+        for &va in &repr.addresses {
+            if mr
+                .check_access(va, repr.payload.len(), AccessKind::Write)
+                .is_err()
+            {
+                self.counters.rejected += 1;
+                return NativeAction::Rejected(DropReason::AccessViolation);
+            }
+        }
+        for &va in &repr.addresses {
+            mr.write(va, &repr.payload).expect("validated above");
+        }
+        self.counters.multiwrites += 1;
+        self.counters.fanout_writes += repr.addresses.len() as u64;
+        NativeAction::MultiWriteExecuted {
+            writes: repr.addresses.len(),
+            len: repr.payload.len(),
+        }
+    }
+}
+
+impl core::fmt::Debug for NativeNic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("NativeNic")
+            .field("rkey", &self.rkey)
+            .field("counters", &self.counters)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mr::{AccessFlags, MemoryRegion};
+    use crate::nic::build_roce_frame;
+    use crate::qp::{QueuePair, Transport};
+    use dta_wire::roce::{BthRepr, Opcode, Psn, RoceRepr};
+    use dta_wire::{ethernet, ipv4};
+
+    const NIC_MAC: ethernet::Address = ethernet::Address([0x02, 0, 0, 0, 0, 1]);
+    const NIC_IP: ipv4::Address = ipv4::Address([10, 0, 0, 2]);
+    const SW_MAC: ethernet::Address = ethernet::Address([0x02, 0, 0, 0, 0, 9]);
+    const SW_IP: ipv4::Address = ipv4::Address([10, 0, 0, 9]);
+    const RKEY: u32 = 0x600D;
+    const QPN: u32 = 0x11;
+
+    fn native() -> NativeNic {
+        let mut nic = RNic::new(NIC_MAC, NIC_IP);
+        nic.register_mr(MemoryRegion::new(
+            0,
+            4096,
+            RKEY,
+            AccessFlags::DART_COLLECTOR,
+        ))
+        .unwrap();
+        let mut qp = QueuePair::new(QPN, Transport::Uc);
+        qp.ready(Psn::new(0));
+        nic.create_qp(qp).unwrap();
+        NativeNic::new(nic, RKEY)
+    }
+
+    fn multiwrite_frame(addresses: Vec<u64>, payload: Vec<u8>, psn: u32) -> Vec<u8> {
+        let mut body = MULTIWRITE_MAGIC.to_vec();
+        body.extend_from_slice(&MultiWriteRepr { addresses, payload }.to_bytes().unwrap());
+        let pad = ((4 - body.len() % 4) % 4) as u8;
+        let packet = RoceRepr::Send {
+            bth: BthRepr {
+                opcode: Opcode::UcSendOnly,
+                solicited: false,
+                migration: true,
+                pad_count: pad,
+                partition_key: 0xFFFF,
+                dest_qp: QPN,
+                ack_request: false,
+                psn,
+            },
+            payload: body,
+        };
+        build_roce_frame(SW_MAC, NIC_MAC, SW_IP, NIC_IP, 49152, &packet)
+    }
+
+    #[test]
+    fn one_packet_fills_all_slots() {
+        let mut nic = native();
+        let action = nic.handle_frame(&multiwrite_frame(
+            vec![0x100, 0x200, 0x300],
+            vec![0xAB; 24],
+            0,
+        ));
+        assert_eq!(
+            action,
+            NativeAction::MultiWriteExecuted { writes: 3, len: 24 }
+        );
+        let handle = nic.nic().mr(RKEY).unwrap().handle();
+        handle.with(|mem| {
+            for base in [0x100usize, 0x200, 0x300] {
+                assert_eq!(&mem[base..base + 24], &[0xAB; 24]);
+            }
+        });
+        assert_eq!(nic.counters().fanout_writes, 3);
+    }
+
+    #[test]
+    fn out_of_bounds_rejects_atomically() {
+        let mut nic = native();
+        let action = nic.handle_frame(&multiwrite_frame(
+            vec![0x100, 4090], // second address overruns
+            vec![0xCD; 24],
+            0,
+        ));
+        assert_eq!(action, NativeAction::Rejected(DropReason::AccessViolation));
+        // All-or-nothing: the first address must NOT have been written.
+        nic.nic()
+            .mr(RKEY)
+            .unwrap()
+            .handle()
+            .with(|mem| assert_eq!(&mem[0x100..0x100 + 24], &[0u8; 24]));
+        assert_eq!(nic.counters().rejected, 1);
+    }
+
+    #[test]
+    fn non_magic_sends_pass_through_to_control_plane() {
+        let mut nic = native();
+        let packet = RoceRepr::Send {
+            bth: BthRepr {
+                opcode: Opcode::UcSendOnly,
+                solicited: false,
+                migration: true,
+                pad_count: 0,
+                partition_key: 0xFFFF,
+                dest_qp: QPN,
+                ack_request: false,
+                psn: 0,
+            },
+            payload: b"control-plane-hello!".to_vec(),
+        };
+        let frame = build_roce_frame(SW_MAC, NIC_MAC, SW_IP, NIC_IP, 49152, &packet);
+        let action = nic.handle_frame(&frame);
+        assert!(matches!(action, NativeAction::Passthrough(_)));
+        // The payload stays available for the control plane.
+        assert_eq!(nic.nic_mut().pop_send().unwrap(), b"control-plane-hello!");
+    }
+
+    #[test]
+    fn standard_writes_still_work() {
+        let mut nic = native();
+        let packet = RoceRepr::Write {
+            bth: BthRepr {
+                opcode: Opcode::UcRdmaWriteOnly,
+                solicited: false,
+                migration: true,
+                pad_count: 0,
+                partition_key: 0xFFFF,
+                dest_qp: QPN,
+                ack_request: false,
+                psn: 0,
+            },
+            reth: dta_wire::roce::RethRepr {
+                virtual_addr: 0x40,
+                rkey: RKEY,
+                dma_len: 8,
+            },
+            payload: vec![9; 8],
+        };
+        let frame = build_roce_frame(SW_MAC, NIC_MAC, SW_IP, NIC_IP, 49152, &packet);
+        let action = nic.handle_frame(&frame);
+        assert!(matches!(
+            action,
+            NativeAction::Passthrough(RxAction::WriteExecuted { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_body_rejected() {
+        let mut nic = native();
+        let mut body = MULTIWRITE_MAGIC.to_vec();
+        body.push(0); // n_addrs = 0 → malformed
+        let packet = RoceRepr::Send {
+            bth: BthRepr {
+                opcode: Opcode::UcSendOnly,
+                solicited: false,
+                migration: true,
+                pad_count: 3,
+                partition_key: 0xFFFF,
+                dest_qp: QPN,
+                ack_request: false,
+                psn: 0,
+            },
+            payload: body,
+        };
+        let frame = build_roce_frame(SW_MAC, NIC_MAC, SW_IP, NIC_IP, 49152, &packet);
+        assert_eq!(
+            nic.handle_frame(&frame),
+            NativeAction::Rejected(DropReason::Malformed)
+        );
+    }
+}

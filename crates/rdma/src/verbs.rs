@@ -1,0 +1,178 @@
+//! Host-side RDMA API ("verbs") and connection descriptors.
+//!
+//! A DART collector performs three verbs-level actions at startup, and
+//! nothing afterwards (its CPU is out of the data path from then on):
+//!
+//! 1. register the telemetry region ([`Device::register_region`]),
+//! 2. create a UC queue pair per reporting switch population
+//!    ([`Device::create_uc_qp`]) and optionally an RC QP for atomics,
+//! 3. export a [`RemoteEndpoint`] descriptor — MAC, IP, QPN, rkey, base
+//!    VA, starting PSN — which the switch control plane writes into its
+//!    collector lookup table (§6: "a match-action table maps the
+//!    collector ID to specific server information required for crafting
+//!    RoCEv2 headers", about 20 B of SRAM per collector).
+
+use dta_wire::{ethernet, ipv4, roce::Psn};
+
+use crate::mr::{AccessFlags, MemoryHandle, MemoryRegion};
+use crate::nic::{NicError, RNic};
+use crate::qp::{QueuePair, Transport};
+
+/// Everything a switch needs to aim RDMA packets at a collector.
+///
+/// This is the content of one entry of the switch's collector lookup
+/// table. The paper reports ~20 bytes of on-switch SRAM per collector;
+/// the fields below (MAC 6 + IP 4 + QPN 3 + rkey 4 + PSN slot) match
+/// that budget, with the region base VA folded into address computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteEndpoint {
+    /// Collector NIC MAC address.
+    pub mac: ethernet::Address,
+    /// Collector IP address.
+    pub ip: ipv4::Address,
+    /// Destination queue pair number.
+    pub qpn: u32,
+    /// rkey of the telemetry region.
+    pub rkey: u32,
+    /// Virtual base address of the telemetry region.
+    pub base_va: u64,
+    /// Region length in bytes.
+    pub region_len: u64,
+    /// The PSN the collector expects first.
+    pub start_psn: Psn,
+}
+
+/// A host-side handle bundling a NIC with registration bookkeeping.
+pub struct Device {
+    nic: RNic,
+    next_rkey: u32,
+    next_qpn: u32,
+}
+
+impl Device {
+    /// Open a device with the given addresses.
+    pub fn open(mac: ethernet::Address, ip: ipv4::Address) -> Device {
+        Device {
+            nic: RNic::new(mac, ip),
+            next_rkey: 0x1000,
+            next_qpn: 0x100,
+        }
+    }
+
+    /// The underlying NIC (to feed frames / read counters).
+    pub fn nic(&self) -> &RNic {
+        &self.nic
+    }
+
+    /// Mutable access to the underlying NIC.
+    pub fn nic_mut(&mut self) -> &mut RNic {
+        &mut self.nic
+    }
+
+    /// Register a telemetry region of `len` bytes at `base_va`,
+    /// returning its rkey and a read handle for the query engine.
+    pub fn register_region(
+        &mut self,
+        base_va: u64,
+        len: usize,
+        access: AccessFlags,
+    ) -> Result<(u32, MemoryHandle), NicError> {
+        let rkey = self.next_rkey;
+        self.next_rkey += 1;
+        let mr = MemoryRegion::new(base_va, len, rkey, access);
+        let handle = mr.handle();
+        self.nic.register_mr(mr)?;
+        Ok((rkey, handle))
+    }
+
+    /// Create a UC queue pair ready to receive from `start_psn`.
+    pub fn create_uc_qp(&mut self, start_psn: Psn) -> Result<u32, NicError> {
+        let qpn = self.next_qpn;
+        self.next_qpn += 1;
+        let mut qp = QueuePair::new(qpn, Transport::Uc);
+        qp.ready(start_psn);
+        self.nic.create_qp(qp)?;
+        Ok(qpn)
+    }
+
+    /// Create an RC queue pair connected to `peer_qpn`.
+    pub fn create_rc_qp(&mut self, start_psn: Psn, peer_qpn: u32) -> Result<u32, NicError> {
+        let qpn = self.next_qpn;
+        self.next_qpn += 1;
+        let mut qp = QueuePair::new(qpn, Transport::Rc);
+        qp.ready(start_psn);
+        qp.set_peer(peer_qpn);
+        self.nic.create_qp(qp)?;
+        Ok(qpn)
+    }
+
+    /// Build the endpoint descriptor for a registered region + QP.
+    pub fn endpoint(&self, qpn: u32, rkey: u32, base_va: u64, region_len: u64) -> RemoteEndpoint {
+        let start_psn = self
+            .nic
+            .qp(qpn)
+            .map(|qp| qp.expected_psn())
+            .unwrap_or(Psn::new(0));
+        RemoteEndpoint {
+            mac: self.nic.mac(),
+            ip: self.nic.ip(),
+            qpn,
+            rkey,
+            base_va,
+            region_len,
+            start_psn,
+        }
+    }
+}
+
+impl core::fmt::Debug for Device {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Device").field("nic", &self.nic).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> Device {
+        Device::open(
+            ethernet::Address([0x02, 0, 0, 0, 0, 1]),
+            ipv4::Address([10, 0, 0, 2]),
+        )
+    }
+
+    #[test]
+    fn register_and_describe() {
+        let mut dev = device();
+        let (rkey, handle) = dev
+            .register_region(0x10000, 4096, AccessFlags::DART_COLLECTOR)
+            .unwrap();
+        let qpn = dev.create_uc_qp(Psn::new(7)).unwrap();
+        let ep = dev.endpoint(qpn, rkey, 0x10000, 4096);
+        assert_eq!(ep.rkey, rkey);
+        assert_eq!(ep.qpn, qpn);
+        assert_eq!(ep.start_psn, Psn::new(7));
+        assert_eq!(ep.region_len, 4096);
+        assert_eq!(handle.len(), 4096);
+    }
+
+    #[test]
+    fn rkeys_and_qpns_are_unique() {
+        let mut dev = device();
+        let (k1, _) = dev.register_region(0, 16, AccessFlags::ALL).unwrap();
+        let (k2, _) = dev.register_region(0, 16, AccessFlags::ALL).unwrap();
+        assert_ne!(k1, k2);
+        let q1 = dev.create_uc_qp(Psn::new(0)).unwrap();
+        let q2 = dev.create_rc_qp(Psn::new(0), 0x55).unwrap();
+        assert_ne!(q1, q2);
+        assert_eq!(dev.nic().qp(q2).unwrap().peer_qpn(), 0x55);
+    }
+
+    #[test]
+    fn endpoint_for_unknown_qp_defaults_psn() {
+        let dev = device();
+        let ep = dev.endpoint(0xDEAD, 1, 0, 0);
+        assert_eq!(ep.start_psn, Psn::new(0));
+    }
+}

@@ -1,0 +1,141 @@
+//! The switch control plane (the prototype's "150 lines of Python").
+//!
+//! Responsibilities, mirroring §6: receive the collector directory from
+//! the operator, validate that every region can hold the configured slot
+//! geometry, install the collector lookup-table entries, configure the
+//! telemetry mirror session, and report the SRAM budget.
+
+use dta_rdma::verbs::RemoteEndpoint;
+
+use crate::egress::{DartEgress, SwitchError};
+use crate::mirror::{Mirror, MirrorSession};
+
+/// The session ID used for DART telemetry triggers.
+pub const DART_MIRROR_SESSION: u16 = 0x0DA;
+
+/// Control-plane driver for one switch.
+#[derive(Debug, Default)]
+pub struct ControlPlane {
+    installed: u32,
+}
+
+impl ControlPlane {
+    /// Fresh control plane.
+    pub fn new() -> ControlPlane {
+        ControlPlane::default()
+    }
+
+    /// Number of collectors installed so far.
+    pub fn installed(&self) -> u32 {
+        self.installed
+    }
+
+    /// Install the full collector directory into the egress engine.
+    /// Collector IDs are assigned densely in directory order, which must
+    /// match the operator's ID assignment (they share the directory).
+    pub fn install_directory(
+        &mut self,
+        egress: &mut DartEgress,
+        directory: &[RemoteEndpoint],
+    ) -> Result<(), SwitchError> {
+        for (id, endpoint) in directory.iter().enumerate() {
+            egress.install_collector(id as u32, *endpoint)?;
+            self.installed += 1;
+        }
+        Ok(())
+    }
+
+    /// Configure the telemetry mirror session with a truncation length
+    /// that covers key + value + framing.
+    pub fn configure_mirror(&self, mirror: &mut Mirror, max_key_len: usize, value_len: usize) {
+        mirror.configure(MirrorSession {
+            id: DART_MIRROR_SESSION,
+            truncate_len: 1 + max_key_len + value_len,
+        });
+    }
+
+    /// Total SRAM the collector state consumes on this switch.
+    pub fn sram_budget(&self, collectors: u32) -> usize {
+        collectors as usize * DartEgress::sram_bytes_per_collector()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::egress::EgressConfig;
+    use crate::SwitchIdentity;
+    use dta_wire::dart::{ChecksumWidth, SlotLayout};
+    use dta_wire::roce::Psn;
+    use dta_wire::{ethernet, ipv4};
+
+    fn endpoint(i: u8) -> RemoteEndpoint {
+        RemoteEndpoint {
+            mac: ethernet::Address([0x02, 0, 0, 0, 0, i]),
+            ip: ipv4::Address([10, 0, 0, i]),
+            qpn: 0x100 + u32::from(i),
+            rkey: 0x1000 + u32::from(i),
+            base_va: 0x10000,
+            region_len: 24 * 1024,
+            start_psn: Psn::new(0),
+        }
+    }
+
+    fn egress(collectors: u32) -> DartEgress {
+        DartEgress::new(
+            SwitchIdentity::derived(1),
+            EgressConfig {
+                copies: 2,
+                slots: 1024,
+                layout: SlotLayout {
+                    checksum: ChecksumWidth::B32,
+                    value_len: 20,
+                },
+                collectors,
+                udp_src_port: 49152,
+            },
+            7,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn directory_installation() {
+        let mut cp = ControlPlane::new();
+        let mut eg = egress(3);
+        cp.install_directory(&mut eg, &[endpoint(1), endpoint(2), endpoint(3)])
+            .unwrap();
+        assert_eq!(cp.installed(), 3);
+        // All three collectors are now reachable.
+        for _ in 0..16 {
+            assert!(eg.craft_report(b"some-key", &[0u8; 20]).is_ok());
+        }
+    }
+
+    #[test]
+    fn directory_too_large_rejected() {
+        let mut cp = ControlPlane::new();
+        let mut eg = egress(1);
+        let result = cp.install_directory(&mut eg, &[endpoint(1), endpoint(2)]);
+        assert!(matches!(result, Err(SwitchError::TableFull)));
+    }
+
+    #[test]
+    fn sram_budget_scales() {
+        let cp = ControlPlane::new();
+        // Tens of thousands of collectors remain well within a Tofino's
+        // tens of MB of SRAM (§6).
+        assert_eq!(cp.sram_budget(10_000), 200_000);
+    }
+
+    #[test]
+    fn mirror_configuration() {
+        let cp = ControlPlane::new();
+        let mut mirror = Mirror::new();
+        cp.configure_mirror(&mut mirror, 13, 20);
+        let clone = mirror
+            .clone_to_egress(DART_MIRROR_SESSION, &[0u8; 13], &[0u8; 20])
+            .unwrap();
+        assert_eq!(clone.payload.len(), 34); // 1 + 13 + 20, untruncated
+    }
+}

@@ -1,0 +1,182 @@
+//! Ingress-to-egress (I2E) mirroring.
+//!
+//! On Tofino, the DART trigger is an I2E mirror: when telemetry should be
+//! reported, the ingress pipeline requests a *truncated clone* of the
+//! packet into a mirror session; the clone re-enters the egress pipeline
+//! tagged with the session ID and carries "the raw telemetry data
+//! together with the corresponding key" (§6), which the egress then turns
+//! into a DART report. The original packet is forwarded unmodified.
+//!
+//! The mirror payload format is a tiny TLV: `key_len (1 B) ‖ key ‖ value`
+//! — the same information a real pipeline would carry in bridged
+//! metadata.
+
+use std::collections::HashMap;
+
+/// A configured mirror session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MirrorSession {
+    /// Session ID carried by clones.
+    pub id: u16,
+    /// Clones are truncated to this many bytes.
+    pub truncate_len: usize,
+}
+
+/// A truncated clone injected into the egress pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MirroredPacket {
+    /// The session that produced the clone.
+    pub session: u16,
+    /// Truncated payload.
+    pub payload: Vec<u8>,
+}
+
+/// Mirror errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MirrorError {
+    /// No session with the requested ID.
+    UnknownSession(u16),
+    /// The telemetry key exceeds 255 bytes and cannot be framed.
+    KeyTooLong(usize),
+    /// The payload is malformed (decode side).
+    Malformed,
+}
+
+impl core::fmt::Display for MirrorError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            MirrorError::UnknownSession(id) => write!(f, "unknown mirror session {id}"),
+            MirrorError::KeyTooLong(len) => write!(f, "telemetry key of {len} bytes too long"),
+            MirrorError::Malformed => write!(f, "malformed mirror payload"),
+        }
+    }
+}
+
+impl std::error::Error for MirrorError {}
+
+/// The mirroring block of one switch.
+#[derive(Debug, Default)]
+pub struct Mirror {
+    sessions: HashMap<u16, MirrorSession>,
+    clones: u64,
+}
+
+impl Mirror {
+    /// A mirror with no sessions configured.
+    pub fn new() -> Mirror {
+        Mirror::default()
+    }
+
+    /// Configure (or reconfigure) a session.
+    pub fn configure(&mut self, session: MirrorSession) {
+        self.sessions.insert(session.id, session);
+    }
+
+    /// Number of clones produced so far.
+    pub fn clones(&self) -> u64 {
+        self.clones
+    }
+
+    /// Clone telemetry `(key, value)` into `session`, truncating to the
+    /// session's limit.
+    pub fn clone_to_egress(
+        &mut self,
+        session_id: u16,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<MirroredPacket, MirrorError> {
+        let session = self
+            .sessions
+            .get(&session_id)
+            .ok_or(MirrorError::UnknownSession(session_id))?;
+        let payload = encode_trigger(key, value)?;
+        let truncated = payload.len().min(session.truncate_len);
+        self.clones += 1;
+        Ok(MirroredPacket {
+            session: session_id,
+            payload: payload[..truncated].to_vec(),
+        })
+    }
+}
+
+/// Frame `(key, value)` as a mirror payload.
+pub fn encode_trigger(key: &[u8], value: &[u8]) -> Result<Vec<u8>, MirrorError> {
+    if key.len() > 255 {
+        return Err(MirrorError::KeyTooLong(key.len()));
+    }
+    let mut out = Vec::with_capacity(1 + key.len() + value.len());
+    out.push(key.len() as u8);
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    Ok(out)
+}
+
+/// Parse a mirror payload back into `(key, value)`.
+pub fn decode_trigger(payload: &[u8]) -> Result<(&[u8], &[u8]), MirrorError> {
+    if payload.is_empty() {
+        return Err(MirrorError::Malformed);
+    }
+    let key_len = usize::from(payload[0]);
+    if payload.len() < 1 + key_len {
+        return Err(MirrorError::Malformed);
+    }
+    Ok((&payload[1..1 + key_len], &payload[1 + key_len..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let encoded = encode_trigger(b"key", b"value-bytes").unwrap();
+        let (k, v) = decode_trigger(&encoded).unwrap();
+        assert_eq!(k, b"key");
+        assert_eq!(v, b"value-bytes");
+    }
+
+    #[test]
+    fn mirror_truncates() {
+        let mut mirror = Mirror::new();
+        mirror.configure(MirrorSession {
+            id: 5,
+            truncate_len: 8,
+        });
+        let clone = mirror.clone_to_egress(5, b"key", b"a-long-value").unwrap();
+        assert_eq!(clone.payload.len(), 8);
+        assert_eq!(clone.session, 5);
+        assert_eq!(mirror.clones(), 1);
+    }
+
+    #[test]
+    fn unknown_session_rejected() {
+        let mut mirror = Mirror::new();
+        assert_eq!(
+            mirror.clone_to_egress(9, b"k", b"v"),
+            Err(MirrorError::UnknownSession(9))
+        );
+    }
+
+    #[test]
+    fn long_key_rejected() {
+        let key = vec![0u8; 300];
+        assert_eq!(
+            encode_trigger(&key, b"v"),
+            Err(MirrorError::KeyTooLong(300))
+        );
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert_eq!(decode_trigger(&[]), Err(MirrorError::Malformed));
+        assert_eq!(decode_trigger(&[5, 1, 2]), Err(MirrorError::Malformed));
+    }
+
+    #[test]
+    fn empty_value_roundtrip() {
+        let encoded = encode_trigger(b"key", b"").unwrap();
+        let (k, v) = decode_trigger(&encoded).unwrap();
+        assert_eq!(k, b"key");
+        assert!(v.is_empty());
+    }
+}

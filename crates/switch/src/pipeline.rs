@@ -1,0 +1,200 @@
+//! Pipeline resource accounting: does the DART program fit the ASIC?
+//!
+//! §6's feasibility claim — "our prototype requires about 20 bytes of
+//! on-switch SRAM per-collector, allowing support for tens of thousands
+//! of collectors without impacting the pipeline complexity" — is a
+//! statement about chip resources. This module makes it checkable: a
+//! coarse resource model of a Tofino-class pipeline and an estimator for
+//! the DART P4 program's usage as its configuration scales.
+//!
+//! The numbers are public-knowledge approximations (match-action stage
+//! count, SRAM per stage, PHV capacity, hash units per stage) — precise
+//! enough to separate "trivially fits" from "cannot fit", which is all
+//! the feasibility argument needs.
+
+use crate::egress::DartEgress;
+
+/// Resources consumed by a pipeline program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PipelineResources {
+    /// Match-action stages.
+    pub stages: u32,
+    /// SRAM for tables and register arrays, in bytes.
+    pub sram_bytes: u64,
+    /// Packet-header-vector bits carried between stages.
+    pub phv_bits: u32,
+    /// CRC/hash units.
+    pub hash_units: u32,
+    /// Random-number generators.
+    pub rng_units: u32,
+}
+
+/// A Tofino-1-class resource budget (per pipe).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsicBudget {
+    /// Match-action stages available.
+    pub stages: u32,
+    /// Total SRAM across stages (bytes).
+    pub sram_bytes: u64,
+    /// PHV capacity (bits).
+    pub phv_bits: u32,
+    /// Hash units (two per stage on Tofino).
+    pub hash_units: u32,
+    /// RNG externs.
+    pub rng_units: u32,
+}
+
+impl AsicBudget {
+    /// Approximate Tofino-1 numbers: 12 stages, ~10 MB of map SRAM,
+    /// 4 kbit PHV, 2 hash units per stage.
+    pub const TOFINO_1: AsicBudget = AsicBudget {
+        stages: 12,
+        sram_bytes: 10 * 1024 * 1024,
+        phv_bits: 4096,
+        hash_units: 24,
+        rng_units: 1,
+    };
+
+    /// Whether `usage` fits this budget.
+    pub fn admits(&self, usage: &PipelineResources) -> bool {
+        usage.stages <= self.stages
+            && usage.sram_bytes <= self.sram_bytes
+            && usage.phv_bits <= self.phv_bits
+            && usage.hash_units <= self.hash_units
+            && usage.rng_units <= self.rng_units
+    }
+
+    /// Fraction of SRAM consumed.
+    pub fn sram_utilization(&self, usage: &PipelineResources) -> f64 {
+        usage.sram_bytes as f64 / self.sram_bytes as f64
+    }
+}
+
+/// Configuration knobs that drive DART's resource usage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DartProgram {
+    /// Collectors in the lookup table.
+    pub collectors: u32,
+    /// Redundant copies (`N`) — one CRC configuration per copy.
+    pub copies: u8,
+    /// Telemetry key bytes carried in the PHV.
+    pub key_len: u32,
+    /// Telemetry value bytes carried in the PHV.
+    pub value_len: u32,
+}
+
+impl DartProgram {
+    /// Estimate the program's resource consumption.
+    ///
+    /// Stage accounting follows the §6 prototype's structure: parse +
+    /// mirror trigger (ingress), then in egress — copy-index RNG, slot
+    /// hash, collector hash/lookup, PSN register, header construction,
+    /// and iCRC, several of which share stages.
+    pub fn resources(&self) -> PipelineResources {
+        // Lookup-table entry (20 B, §6) per collector; PSN register is
+        // inside those 20 B (3 B), already counted.
+        let table_sram = u64::from(self.collectors) * DartEgress::sram_bytes_per_collector() as u64;
+        // Mirror session config + static program tables.
+        let fixed_sram = 4 * 1024;
+
+        // PHV: the standard headers (Ethernet 14 + IPv4 20 + UDP 8 +
+        // BTH 12 + RETH 16 ≈ 70 B), bridged key+value, plus ~16 B of
+        // pipeline metadata.
+        let phv_bytes = 70 + self.key_len + self.value_len + 16;
+
+        PipelineResources {
+            // parse, trigger/mirror, rng+hash, lookup, psn, deparse+icrc.
+            stages: 6,
+            sram_bytes: table_sram + fixed_sram,
+            phv_bits: phv_bytes * 8,
+            // One CRC unit per copy polynomial + collector + checksum +
+            // iCRC.
+            hash_units: u32::from(self.copies).min(4) + 3,
+            rng_units: 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_config(collectors: u32) -> DartProgram {
+        DartProgram {
+            collectors,
+            copies: 2,
+            key_len: 13,   // flow 5-tuple
+            value_len: 20, // 5-hop path trace
+        }
+    }
+
+    #[test]
+    fn tens_of_thousands_of_collectors_fit() {
+        // The §6 claim, verbatim.
+        let budget = AsicBudget::TOFINO_1;
+        for collectors in [1_000, 10_000, 50_000] {
+            let usage = paper_config(collectors).resources();
+            assert!(
+                budget.admits(&usage),
+                "{collectors} collectors should fit: {usage:?}"
+            );
+        }
+        // 50k collectors use only ~10% of SRAM.
+        let usage = paper_config(50_000).resources();
+        assert!(budget.sram_utilization(&usage) < 0.15);
+    }
+
+    #[test]
+    fn millions_of_collectors_do_not_fit() {
+        let budget = AsicBudget::TOFINO_1;
+        let usage = paper_config(1_000_000).resources();
+        assert!(!budget.admits(&usage), "SRAM must be the binding limit");
+    }
+
+    #[test]
+    fn phv_scales_with_key_and_value() {
+        let small = paper_config(1).resources();
+        let big = DartProgram {
+            key_len: 64,
+            value_len: 100,
+            ..paper_config(1)
+        }
+        .resources();
+        assert!(big.phv_bits > small.phv_bits);
+        // Even the big profile stays within the PHV budget.
+        assert!(AsicBudget::TOFINO_1.admits(&big));
+    }
+
+    #[test]
+    fn hash_units_track_copies() {
+        let n1 = DartProgram {
+            copies: 1,
+            ..paper_config(1)
+        }
+        .resources();
+        let n4 = DartProgram {
+            copies: 4,
+            ..paper_config(1)
+        }
+        .resources();
+        assert_eq!(n4.hash_units - n1.hash_units, 3);
+        // Copies beyond 4 reuse polynomials (see dta-core::hash), so
+        // units saturate.
+        let n8 = DartProgram {
+            copies: 8,
+            ..paper_config(1)
+        }
+        .resources();
+        assert_eq!(n8.hash_units, n4.hash_units);
+    }
+
+    #[test]
+    fn stage_count_is_constant() {
+        // "without impacting the pipeline complexity": stages don't grow
+        // with the collector count.
+        assert_eq!(
+            paper_config(10).resources().stages,
+            paper_config(100_000).resources().stages
+        );
+    }
+}

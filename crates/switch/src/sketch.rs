@@ -1,0 +1,232 @@
+//! Switch-side sketch updates: FETCH_ADD packets toward a Count-Min
+//! sketch living in collector memory (§7).
+//!
+//! Each update of key `k` by `amount` is `d` RC FETCH_ADD packets, one
+//! per sketch row, aimed at the addresses computed by
+//! [`dta_core::sketch::CmSketchGeometry`] — the same stateless-hashing
+//! discipline as DART's key-value reports, so switches keep **zero**
+//! per-flow counter state. RC transport is required because the RDMA
+//! spec only defines atomics for reliable services; the collector NIC
+//! ACKs each atomic (the switch pipeline ignores ACKs, §6-style).
+
+use dta_core::sketch::CmSketchGeometry;
+use dta_rdma::verbs::RemoteEndpoint;
+use dta_wire::roce::{AtomicEthRepr, BthRepr, Opcode, Psn, RoceRepr};
+use dta_wire::{ethernet, ipv4, udp};
+
+use crate::egress::SwitchError;
+use crate::externs::RegisterArray;
+use crate::SwitchIdentity;
+
+/// Crafts FETCH_ADD streams that maintain a remote Count-Min sketch.
+pub struct SketchReporter {
+    identity: SwitchIdentity,
+    geometry: CmSketchGeometry,
+    endpoint: RemoteEndpoint,
+    udp_src_port: u16,
+    psn: RegisterArray<u32>,
+    updates: u64,
+}
+
+impl SketchReporter {
+    /// Build a reporter. The sketch must fit in the endpoint's region.
+    pub fn new(
+        identity: SwitchIdentity,
+        geometry: CmSketchGeometry,
+        endpoint: RemoteEndpoint,
+        udp_src_port: u16,
+    ) -> Result<SketchReporter, SwitchError> {
+        let end = geometry.base_va + geometry.bytes();
+        if geometry.base_va < endpoint.base_va || end > endpoint.base_va + endpoint.region_len {
+            return Err(SwitchError::RegionTooSmall {
+                required: end - endpoint.base_va,
+                available: endpoint.region_len,
+            });
+        }
+        Ok(SketchReporter {
+            identity,
+            geometry,
+            endpoint,
+            udp_src_port,
+            psn: RegisterArray::new(1),
+            updates: 0,
+        })
+    }
+
+    /// Updates crafted so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Craft the `d` FETCH_ADD frames for one update of `key` by
+    /// `amount`.
+    pub fn craft_update(&mut self, key: &[u8], amount: u64) -> Vec<Vec<u8>> {
+        let frames = self
+            .geometry
+            .update_vas(key)
+            .into_iter()
+            .map(|va| {
+                let raw = self
+                    .psn
+                    .read_modify_write(0, |v| (v + 1) & (Psn::MODULUS - 1))
+                    .expect("register 0 exists");
+                let packet = RoceRepr::FetchAdd {
+                    bth: BthRepr {
+                        opcode: Opcode::RcFetchAdd,
+                        solicited: false,
+                        migration: true,
+                        pad_count: 0,
+                        partition_key: 0xFFFF,
+                        dest_qp: self.endpoint.qpn,
+                        ack_request: true,
+                        psn: raw,
+                    },
+                    atomic: AtomicEthRepr {
+                        virtual_addr: va,
+                        rkey: self.endpoint.rkey,
+                        swap_or_add: amount,
+                        compare: 0,
+                    },
+                };
+                self.deparse(&packet)
+            })
+            .collect();
+        self.updates += 1;
+        frames
+    }
+
+    fn deparse(&self, packet: &RoceRepr) -> Vec<u8> {
+        // Identical header stack to the report deparser; sketch updates
+        // are just another RoCEv2 stream from the same pipeline.
+        let transport_len = packet.buffer_len() + dta_wire::roce::ICRC_LEN;
+        let total = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN + transport_len;
+        let mut frame = vec![0u8; total];
+
+        let eth_repr = ethernet::Repr {
+            src_addr: self.identity.mac,
+            dst_addr: self.endpoint.mac,
+            ethertype: ethernet::EtherType::Ipv4,
+        };
+        let ip_repr = ipv4::Repr {
+            src_addr: self.identity.ip,
+            dst_addr: self.endpoint.ip,
+            protocol: ipv4::Protocol::Udp,
+            payload_len: udp::HEADER_LEN + transport_len,
+            ttl: 64,
+            tos: 0,
+        };
+        let udp_repr = udp::Repr {
+            src_port: self.udp_src_port,
+            dst_port: udp::ROCEV2_PORT,
+            payload_len: transport_len,
+        };
+        let mut eth = ethernet::Frame::new_unchecked(&mut frame[..]);
+        eth_repr.emit(&mut eth);
+        let mut ip = ipv4::Packet::new_unchecked(eth.payload_mut());
+        ip_repr.emit(&mut ip);
+        let mut dgram = udp::Datagram::new_unchecked(ip.payload_mut());
+        udp_repr.emit(&mut dgram);
+
+        let ip_start = ethernet::HEADER_LEN;
+        let udp_start = ip_start + ipv4::HEADER_LEN;
+        let roce_start = udp_start + udp::HEADER_LEN;
+        packet.emit(&mut frame[roce_start..roce_start + packet.buffer_len()]);
+        let (head, tail) = frame.split_at_mut(roce_start);
+        let crc = dta_wire::roce::icrc::compute(
+            &head[ip_start..ip_start + ipv4::HEADER_LEN],
+            &head[udp_start..udp_start + udp::HEADER_LEN],
+            &tail[..packet.buffer_len()],
+        );
+        tail[packet.buffer_len()..packet.buffer_len() + dta_wire::roce::ICRC_LEN]
+            .copy_from_slice(&crc.to_le_bytes());
+        frame
+    }
+}
+
+impl core::fmt::Debug for SketchReporter {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("SketchReporter")
+            .field("identity", &self.identity)
+            .field("geometry", &self.geometry)
+            .field("updates", &self.updates)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometry() -> CmSketchGeometry {
+        CmSketchGeometry {
+            base_va: 0x8000,
+            depth: 3,
+            width: 64,
+            seed: 5,
+        }
+    }
+
+    fn endpoint() -> RemoteEndpoint {
+        RemoteEndpoint {
+            mac: ethernet::Address([2, 0, 0, 0, 0, 2]),
+            ip: ipv4::Address([10, 0, 0, 2]),
+            qpn: 0x200,
+            rkey: 0x2000,
+            base_va: 0x8000,
+            region_len: 3 * 64 * 8,
+            start_psn: Psn::new(0),
+        }
+    }
+
+    #[test]
+    fn one_update_is_depth_frames() {
+        let mut reporter =
+            SketchReporter::new(SwitchIdentity::derived(4), geometry(), endpoint(), 49152).unwrap();
+        let frames = reporter.craft_update(b"flow-x", 42);
+        assert_eq!(frames.len(), 3);
+        assert_eq!(reporter.updates(), 1);
+        // Each frame parses as an RC FetchAdd with the right rkey/amount.
+        for frame in &frames {
+            let eth = ethernet::Frame::new_checked(&frame[..]).unwrap();
+            let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+            let dgram = udp::Datagram::new_checked(ip.payload()).unwrap();
+            let body = &dgram.payload()[..dgram.payload().len() - 4];
+            match RoceRepr::parse(body).unwrap() {
+                RoceRepr::FetchAdd { bth, atomic } => {
+                    assert_eq!(bth.opcode, Opcode::RcFetchAdd);
+                    assert_eq!(atomic.rkey, 0x2000);
+                    assert_eq!(atomic.swap_or_add, 42);
+                    assert_eq!(atomic.virtual_addr % 8, 0);
+                }
+                other => panic!("expected FetchAdd, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn psns_are_sequential_across_rows() {
+        let mut reporter =
+            SketchReporter::new(SwitchIdentity::derived(4), geometry(), endpoint(), 49152).unwrap();
+        let mut psns = Vec::new();
+        for _ in 0..2 {
+            for frame in reporter.craft_update(b"k", 1) {
+                let eth = ethernet::Frame::new_checked(&frame[..]).unwrap();
+                let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+                let dgram = udp::Datagram::new_checked(ip.payload()).unwrap();
+                let body = &dgram.payload()[..dgram.payload().len() - 4];
+                psns.push(RoceRepr::parse(body).unwrap().bth().psn);
+            }
+        }
+        assert_eq!(psns, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sketch_must_fit_region() {
+        let mut small = endpoint();
+        small.region_len = 100;
+        assert!(matches!(
+            SketchReporter::new(SwitchIdentity::derived(4), geometry(), small, 49152),
+            Err(SwitchError::RegionTooSmall { .. })
+        ));
+    }
+}

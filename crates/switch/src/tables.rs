@@ -1,0 +1,145 @@
+//! Exact-match match-action tables.
+//!
+//! The DART pipeline needs one control-plane-populated table: the
+//! *collector lookup table* mapping a hashed collector ID to the RDMA
+//! endpoint information used to craft RoCEv2 headers (§6). Tables have
+//! bounded capacity (TCAM/SRAM is finite), a default action on miss, and
+//! hit/miss counters — the minimum for resource accounting.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Result of installing an entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstallError {
+    /// The table is at capacity.
+    Full,
+}
+
+impl core::fmt::Display for InstallError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InstallError::Full => write!(f, "match-action table full"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+/// Hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableCounters {
+    /// Lookups that matched an entry.
+    pub hits: u64,
+    /// Lookups that fell through to the default action.
+    pub misses: u64,
+}
+
+/// An exact-match match-action table of bounded capacity.
+#[derive(Debug, Clone)]
+pub struct MatchActionTable<K: Eq + Hash, A> {
+    entries: HashMap<K, A>,
+    capacity: usize,
+    counters: TableCounters,
+}
+
+impl<K: Eq + Hash, A> MatchActionTable<K, A> {
+    /// Create a table holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> MatchActionTable<K, A> {
+        MatchActionTable {
+            entries: HashMap::new(),
+            capacity,
+            counters: TableCounters::default(),
+        }
+    }
+
+    /// Install or replace an entry.
+    pub fn install(&mut self, key: K, action: A) -> Result<(), InstallError> {
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
+            return Err(InstallError::Full);
+        }
+        self.entries.insert(key, action);
+        Ok(())
+    }
+
+    /// Remove an entry.
+    pub fn remove(&mut self, key: &K) -> Option<A> {
+        self.entries.remove(key)
+    }
+
+    /// Look up a key, updating hit/miss counters.
+    pub fn lookup(&mut self, key: &K) -> Option<&A> {
+        match self.entries.get(key) {
+            Some(action) => {
+                self.counters.hits += 1;
+                Some(action)
+            }
+            None => {
+                self.counters.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching counters (control-plane reads).
+    pub fn peek(&self, key: &K) -> Option<&A> {
+        self.entries.get(key)
+    }
+
+    /// Installed entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss counters.
+    pub fn counters(&self) -> TableCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn install_lookup_remove() {
+        let mut t: MatchActionTable<u32, &'static str> = MatchActionTable::new(4);
+        t.install(1, "one").unwrap();
+        assert_eq!(t.lookup(&1), Some(&"one"));
+        assert_eq!(t.lookup(&2), None);
+        assert_eq!(t.counters(), TableCounters { hits: 1, misses: 1 });
+        assert_eq!(t.remove(&1), Some("one"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut t: MatchActionTable<u32, u32> = MatchActionTable::new(2);
+        t.install(1, 10).unwrap();
+        t.install(2, 20).unwrap();
+        assert_eq!(t.install(3, 30), Err(InstallError::Full));
+        // Replacing an existing key is allowed at capacity.
+        t.install(2, 21).unwrap();
+        assert_eq!(t.peek(&2), Some(&21));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.capacity(), 2);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut t: MatchActionTable<u32, u32> = MatchActionTable::new(2);
+        t.install(1, 10).unwrap();
+        assert_eq!(t.peek(&1), Some(&10));
+        assert_eq!(t.counters(), TableCounters::default());
+    }
+}

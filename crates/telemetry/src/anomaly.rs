@@ -1,0 +1,161 @@
+//! Flow-anomaly telemetry (Table 1, row 5; NetSeer-style flow events).
+//!
+//! Switches detect per-flow events — drops, path loops, congestion,
+//! blackholes — and report them keyed by `(flow 5-tuple, anomaly ID)` so
+//! each anomaly type of a flow is independently queryable.
+
+use dta_wire::{Error, FiveTuple, Result};
+
+use crate::event::{read_array, tag, Backend};
+
+/// Anomaly types a switch data plane can detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnomalyKind {
+    /// Packet drop (with a drop-reason code in the event data).
+    Drop,
+    /// Forwarding loop detected (TTL pattern).
+    Loop,
+    /// Queue build-up / congestion onset.
+    Congestion,
+    /// Traffic to a route that blackholes.
+    Blackhole,
+    /// Path change (ECMP reshuffle or failover).
+    PathChange,
+}
+
+impl AnomalyKind {
+    /// Stable wire ID.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            AnomalyKind::Drop => 1,
+            AnomalyKind::Loop => 2,
+            AnomalyKind::Congestion => 3,
+            AnomalyKind::Blackhole => 4,
+            AnomalyKind::PathChange => 5,
+        }
+    }
+
+    /// Decode a wire ID.
+    pub fn from_u16(raw: u16) -> Result<AnomalyKind> {
+        match raw {
+            1 => Ok(AnomalyKind::Drop),
+            2 => Ok(AnomalyKind::Loop),
+            3 => Ok(AnomalyKind::Congestion),
+            4 => Ok(AnomalyKind::Blackhole),
+            5 => Ok(AnomalyKind::PathChange),
+            _ => Err(Error::Malformed),
+        }
+    }
+}
+
+/// An anomaly key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AnomalyKey {
+    /// The affected flow.
+    pub flow: FiveTuple,
+    /// The anomaly type.
+    pub kind: AnomalyKind,
+}
+
+/// The event payload: when and what.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnomalyEvent {
+    /// Event timestamp (ns, truncated).
+    pub timestamp: u32,
+    /// Switch that observed the event.
+    pub switch_id: u32,
+    /// Event-specific data (drop reason, loop TTL, queue depth, …).
+    pub event_data: u64,
+    /// Occurrences aggregated into this report.
+    pub count: u32,
+}
+
+/// The flow-anomaly backend.
+pub struct AnomalyBackend;
+
+impl Backend for AnomalyBackend {
+    type Key = AnomalyKey;
+    type Value = AnomalyEvent;
+
+    const VALUE_LEN: usize = 20;
+
+    fn encode_key(key: &AnomalyKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + FiveTuple::WIRE_LEN + 2);
+        out.push(tag::ANOMALY);
+        out.extend_from_slice(&key.flow.to_bytes());
+        out.extend_from_slice(&key.kind.to_u16().to_be_bytes());
+        out
+    }
+
+    fn encode_value(value: &AnomalyEvent) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::VALUE_LEN);
+        out.extend_from_slice(&value.timestamp.to_be_bytes());
+        out.extend_from_slice(&value.switch_id.to_be_bytes());
+        out.extend_from_slice(&value.event_data.to_be_bytes());
+        out.extend_from_slice(&value.count.to_be_bytes());
+        out
+    }
+
+    fn decode_value(bytes: &[u8]) -> Result<AnomalyEvent> {
+        Ok(AnomalyEvent {
+            timestamp: u32::from_be_bytes(read_array::<4>(bytes, 0)?),
+            switch_id: u32::from_be_bytes(read_array::<4>(bytes, 4)?),
+            event_data: u64::from_be_bytes(read_array::<8>(bytes, 8)?),
+            count: u32::from_be_bytes(read_array::<4>(bytes, 16)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_wire::ipv4;
+
+    fn key(kind: AnomalyKind) -> AnomalyKey {
+        AnomalyKey {
+            flow: FiveTuple {
+                src_ip: ipv4::Address([10, 0, 0, 1]),
+                dst_ip: ipv4::Address([10, 0, 1, 9]),
+                src_port: 40000,
+                dst_port: 80,
+                protocol: 6,
+            },
+            kind,
+        }
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for kind in [
+            AnomalyKind::Drop,
+            AnomalyKind::Loop,
+            AnomalyKind::Congestion,
+            AnomalyKind::Blackhole,
+            AnomalyKind::PathChange,
+        ] {
+            assert_eq!(AnomalyKind::from_u16(kind.to_u16()).unwrap(), kind);
+        }
+        assert!(AnomalyKind::from_u16(99).is_err());
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = AnomalyEvent {
+            timestamp: 777,
+            switch_id: 3,
+            event_data: 0xDEAD_BEEF_CAFE,
+            count: 12,
+        };
+        let bytes = AnomalyBackend::encode_value(&v);
+        assert_eq!(bytes.len(), AnomalyBackend::VALUE_LEN);
+        assert_eq!(AnomalyBackend::decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn same_flow_different_anomalies_have_distinct_keys() {
+        let a = AnomalyBackend::encode_key(&key(AnomalyKind::Drop));
+        let b = AnomalyBackend::encode_key(&key(AnomalyKind::Loop));
+        assert_ne!(a, b);
+        assert_eq!(a[0], tag::ANOMALY);
+    }
+}

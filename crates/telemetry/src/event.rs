@@ -1,0 +1,92 @@
+//! The backend abstraction: keys, values, and records.
+
+use dta_wire::{Error, Result};
+
+/// Domain-separation tags prepended to keys so multiple backends can
+/// share one collector region.
+pub mod tag {
+    /// In-band INT (Table 1 row 1).
+    pub const IN_BAND: u8 = 0x01;
+    /// Postcard-mode INT (row 2).
+    pub const POSTCARD: u8 = 0x02;
+    /// Query-based mirroring (row 3).
+    pub const QUERY_MIRROR: u8 = 0x03;
+    /// Trace analysis (row 4).
+    pub const TRACE: u8 = 0x04;
+    /// Flow anomalies (row 5).
+    pub const ANOMALY: u8 = 0x05;
+    /// Network failures (row 6).
+    pub const FAILURE: u8 = 0x06;
+}
+
+/// A telemetry backend: how a measurement technique maps onto the DART
+/// key-value schema.
+pub trait Backend {
+    /// The backend's key type.
+    type Key;
+    /// The backend's value type.
+    type Value;
+
+    /// Fixed value length in bytes (DART slots are fixed-size).
+    const VALUE_LEN: usize;
+
+    /// Encode a key (with the backend's domain tag).
+    fn encode_key(key: &Self::Key) -> Vec<u8>;
+
+    /// Encode a value to exactly [`Backend::VALUE_LEN`] bytes.
+    fn encode_value(value: &Self::Value) -> Vec<u8>;
+
+    /// Decode a value.
+    fn decode_value(bytes: &[u8]) -> Result<Self::Value>;
+
+    /// Bundle a `(key, value)` pair as an encodable record.
+    fn record(key: &Self::Key, value: &Self::Value) -> TelemetryRecord {
+        TelemetryRecord {
+            key: Self::encode_key(key),
+            value: Self::encode_value(value),
+        }
+    }
+}
+
+/// An encoded telemetry record, ready for the DART write path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryRecord {
+    /// The encoded key (hashed by switches/operators).
+    pub key: Vec<u8>,
+    /// The encoded value (stored in the slot).
+    pub value: Vec<u8>,
+}
+
+/// Helper: read a fixed-size array from `bytes` at `offset`.
+pub(crate) fn read_array<const N: usize>(bytes: &[u8], offset: usize) -> Result<[u8; N]> {
+    bytes
+        .get(offset..offset + N)
+        .and_then(|s| s.try_into().ok())
+        .ok_or(Error::Truncated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_distinct() {
+        let tags = [
+            tag::IN_BAND,
+            tag::POSTCARD,
+            tag::QUERY_MIRROR,
+            tag::TRACE,
+            tag::ANOMALY,
+            tag::FAILURE,
+        ];
+        let unique: std::collections::HashSet<_> = tags.iter().collect();
+        assert_eq!(unique.len(), tags.len());
+    }
+
+    #[test]
+    fn read_array_bounds() {
+        let bytes = [1u8, 2, 3, 4];
+        assert_eq!(read_array::<2>(&bytes, 1).unwrap(), [2, 3]);
+        assert_eq!(read_array::<4>(&bytes, 1), Err(Error::Truncated));
+    }
+}

@@ -1,0 +1,108 @@
+//! Network-failure telemetry (Table 1, row 6; Pingmesh-style).
+//!
+//! Keyed by `(failure ID, location)` so operators can query "what do we
+//! know about failure F at location L" during an incident.
+
+use dta_wire::Result;
+
+use crate::event::{read_array, tag, Backend};
+
+/// A failure key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FailureKey {
+    /// Failure class (link down, high loss, latency SLA breach, …).
+    pub failure_id: u32,
+    /// Location code (switch / rack / pod encoding chosen by operator).
+    pub location: u32,
+}
+
+/// The failure report payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureEvent {
+    /// Detection timestamp (ns, truncated).
+    pub timestamp: u32,
+    /// Debug code (protocol-specific detail).
+    pub debug_code: u32,
+    /// Affected entity (port, peer switch, …).
+    pub entity: u32,
+    /// Measured severity (loss ppm, latency µs, …).
+    pub severity: u32,
+    /// Occurrences aggregated into this report.
+    pub count: u32,
+}
+
+/// The network-failure backend.
+pub struct FailureBackend;
+
+impl Backend for FailureBackend {
+    type Key = FailureKey;
+    type Value = FailureEvent;
+
+    const VALUE_LEN: usize = 20;
+
+    fn encode_key(key: &FailureKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(9);
+        out.push(tag::FAILURE);
+        out.extend_from_slice(&key.failure_id.to_be_bytes());
+        out.extend_from_slice(&key.location.to_be_bytes());
+        out
+    }
+
+    fn encode_value(value: &FailureEvent) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::VALUE_LEN);
+        out.extend_from_slice(&value.timestamp.to_be_bytes());
+        out.extend_from_slice(&value.debug_code.to_be_bytes());
+        out.extend_from_slice(&value.entity.to_be_bytes());
+        out.extend_from_slice(&value.severity.to_be_bytes());
+        out.extend_from_slice(&value.count.to_be_bytes());
+        out
+    }
+
+    fn decode_value(bytes: &[u8]) -> Result<FailureEvent> {
+        Ok(FailureEvent {
+            timestamp: u32::from_be_bytes(read_array::<4>(bytes, 0)?),
+            debug_code: u32::from_be_bytes(read_array::<4>(bytes, 4)?),
+            entity: u32::from_be_bytes(read_array::<4>(bytes, 8)?),
+            severity: u32::from_be_bytes(read_array::<4>(bytes, 12)?),
+            count: u32::from_be_bytes(read_array::<4>(bytes, 16)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = FailureEvent {
+            timestamp: 1,
+            debug_code: 2,
+            entity: 3,
+            severity: 40_000,
+            count: 5,
+        };
+        let bytes = FailureBackend::encode_value(&v);
+        assert_eq!(bytes.len(), FailureBackend::VALUE_LEN);
+        assert_eq!(FailureBackend::decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn keys_distinguish_locations() {
+        let a = FailureBackend::encode_key(&FailureKey {
+            failure_id: 7,
+            location: 1,
+        });
+        let b = FailureBackend::encode_key(&FailureKey {
+            failure_id: 7,
+            location: 2,
+        });
+        assert_ne!(a, b);
+        assert_eq!(a[0], tag::FAILURE);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(FailureBackend::decode_value(&[0u8; 12]).is_err());
+    }
+}

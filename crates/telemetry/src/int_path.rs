@@ -1,0 +1,118 @@
+//! In-band INT path tracing (Table 1, row 1) — the paper's headline
+//! workload.
+//!
+//! Key: the flow 5-tuple. Value: the packet-carried per-hop data — here
+//! the 5-hop path trace of 32-bit switch IDs, i.e. the 160-bit values of
+//! Figure 4.
+
+use dta_wire::int::IntStack;
+use dta_wire::{FiveTuple, Result};
+
+use crate::event::{tag, Backend};
+
+/// Number of hop entries carried per value (a 5-hop fat-tree path).
+pub const PATH_HOPS: usize = 5;
+
+/// The in-band INT path-tracing backend.
+pub struct IntPathBackend;
+
+impl Backend for IntPathBackend {
+    type Key = FiveTuple;
+    type Value = IntStack;
+
+    /// 5 hops × 32 bits = 160 bits = 20 bytes.
+    const VALUE_LEN: usize = PATH_HOPS * 4;
+
+    fn encode_key(key: &FiveTuple) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + FiveTuple::WIRE_LEN);
+        out.push(tag::IN_BAND);
+        out.extend_from_slice(&key.to_bytes());
+        out
+    }
+
+    fn encode_value(value: &IntStack) -> Vec<u8> {
+        value
+            .to_padded_value_bytes(PATH_HOPS)
+            .expect("paths longer than PATH_HOPS are rejected at the sink")
+    }
+
+    fn decode_value(bytes: &[u8]) -> Result<IntStack> {
+        IntStack::from_value_bytes(&bytes[..Self::VALUE_LEN.min(bytes.len())])
+    }
+}
+
+impl IntPathBackend {
+    /// Decode a path trace, dropping zero-padding entries.
+    pub fn decode_path(bytes: &[u8]) -> Result<Vec<u32>> {
+        let stack = Self::decode_value(bytes)?;
+        Ok(stack
+            .switch_ids()
+            .into_iter()
+            .filter(|&id| id != 0)
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_wire::int::HopMetadata;
+    use dta_wire::ipv4;
+
+    fn flow() -> FiveTuple {
+        FiveTuple {
+            src_ip: ipv4::Address([10, 0, 0, 1]),
+            dst_ip: ipv4::Address([10, 0, 1, 9]),
+            src_port: 40000,
+            dst_port: 80,
+            protocol: 6,
+        }
+    }
+
+    fn stack(ids: &[u32]) -> IntStack {
+        let mut s = IntStack::new();
+        for &id in ids {
+            s.push(HopMetadata { switch_id: id }).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn value_is_160_bits() {
+        assert_eq!(IntPathBackend::VALUE_LEN * 8, 160);
+    }
+
+    #[test]
+    fn key_is_tagged() {
+        let key = IntPathBackend::encode_key(&flow());
+        assert_eq!(key[0], tag::IN_BAND);
+        assert_eq!(key.len(), 14);
+    }
+
+    #[test]
+    fn value_roundtrip_full_path() {
+        let s = stack(&[11, 22, 33, 44, 55]);
+        let bytes = IntPathBackend::encode_value(&s);
+        assert_eq!(bytes.len(), IntPathBackend::VALUE_LEN);
+        assert_eq!(IntPathBackend::decode_value(&bytes).unwrap(), s);
+        assert_eq!(
+            IntPathBackend::decode_path(&bytes).unwrap(),
+            vec![11, 22, 33, 44, 55]
+        );
+    }
+
+    #[test]
+    fn short_path_padding_stripped() {
+        let s = stack(&[7, 8]);
+        let bytes = IntPathBackend::encode_value(&s);
+        assert_eq!(bytes.len(), 20);
+        assert_eq!(IntPathBackend::decode_path(&bytes).unwrap(), vec![7, 8]);
+    }
+
+    #[test]
+    fn record_bundles_key_and_value() {
+        let rec = IntPathBackend::record(&flow(), &stack(&[1, 2, 3]));
+        assert_eq!(rec.key[0], tag::IN_BAND);
+        assert_eq!(rec.value.len(), 20);
+    }
+}

@@ -1,0 +1,154 @@
+//! Postcard-mode INT (Table 1, row 2).
+//!
+//! Every switch on the path reports its *own* measurement, keyed by
+//! `(switch ID, flow 5-tuple)` — so the operator reconstructs per-hop
+//! behaviour by issuing one query per `(switch, flow)` pair.
+
+use dta_wire::{FiveTuple, Result};
+
+use crate::event::{read_array, tag, Backend};
+
+/// A postcard key: which switch, which flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PostcardKey {
+    /// The reporting switch.
+    pub switch_id: u32,
+    /// The observed flow.
+    pub flow: FiveTuple,
+}
+
+/// One switch-local measurement (what the switch knows about the packet
+/// at its own pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalMeasurement {
+    /// Ingress timestamp (ns, truncated).
+    pub ingress_ts: u32,
+    /// Egress timestamp (ns, truncated).
+    pub egress_ts: u32,
+    /// Queue depth observed at enqueue (cells).
+    pub queue_depth: u32,
+    /// Egress port.
+    pub egress_port: u16,
+    /// Queue ID.
+    pub queue_id: u8,
+    /// Reserved/flags.
+    pub flags: u8,
+    /// Hop latency in ns (egress − ingress, precomputed by the ASIC).
+    pub hop_latency: u32,
+}
+
+impl LocalMeasurement {
+    /// The hop latency implied by the timestamps.
+    pub fn computed_latency(&self) -> u32 {
+        self.egress_ts.wrapping_sub(self.ingress_ts)
+    }
+}
+
+/// The postcard backend.
+pub struct PostcardBackend;
+
+impl Backend for PostcardBackend {
+    type Key = PostcardKey;
+    type Value = LocalMeasurement;
+
+    /// 20-byte values: the same slot geometry as path tracing, so both
+    /// backends can share a region.
+    const VALUE_LEN: usize = 20;
+
+    fn encode_key(key: &PostcardKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 4 + FiveTuple::WIRE_LEN);
+        out.push(tag::POSTCARD);
+        out.extend_from_slice(&key.switch_id.to_be_bytes());
+        out.extend_from_slice(&key.flow.to_bytes());
+        out
+    }
+
+    fn encode_value(value: &LocalMeasurement) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::VALUE_LEN);
+        out.extend_from_slice(&value.ingress_ts.to_be_bytes());
+        out.extend_from_slice(&value.egress_ts.to_be_bytes());
+        out.extend_from_slice(&value.queue_depth.to_be_bytes());
+        out.extend_from_slice(&value.egress_port.to_be_bytes());
+        out.push(value.queue_id);
+        out.push(value.flags);
+        out.extend_from_slice(&value.hop_latency.to_be_bytes());
+        out
+    }
+
+    fn decode_value(bytes: &[u8]) -> Result<LocalMeasurement> {
+        Ok(LocalMeasurement {
+            ingress_ts: u32::from_be_bytes(read_array::<4>(bytes, 0)?),
+            egress_ts: u32::from_be_bytes(read_array::<4>(bytes, 4)?),
+            queue_depth: u32::from_be_bytes(read_array::<4>(bytes, 8)?),
+            egress_port: u16::from_be_bytes(read_array::<2>(bytes, 12)?),
+            queue_id: *bytes.get(14).ok_or(dta_wire::Error::Truncated)?,
+            flags: *bytes.get(15).ok_or(dta_wire::Error::Truncated)?,
+            hop_latency: u32::from_be_bytes(read_array::<4>(bytes, 16)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_wire::ipv4;
+
+    fn key() -> PostcardKey {
+        PostcardKey {
+            switch_id: 1234,
+            flow: FiveTuple {
+                src_ip: ipv4::Address([10, 0, 0, 1]),
+                dst_ip: ipv4::Address([10, 0, 1, 9]),
+                src_port: 40000,
+                dst_port: 80,
+                protocol: 6,
+            },
+        }
+    }
+
+    fn measurement() -> LocalMeasurement {
+        LocalMeasurement {
+            ingress_ts: 1_000_000,
+            egress_ts: 1_000_850,
+            queue_depth: 12,
+            egress_port: 48,
+            queue_id: 3,
+            flags: 0,
+            hop_latency: 850,
+        }
+    }
+
+    #[test]
+    fn value_roundtrip() {
+        let v = measurement();
+        let bytes = PostcardBackend::encode_value(&v);
+        assert_eq!(bytes.len(), PostcardBackend::VALUE_LEN);
+        assert_eq!(PostcardBackend::decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn key_distinguishes_switches() {
+        let mut k2 = key();
+        k2.switch_id = 99;
+        assert_ne!(
+            PostcardBackend::encode_key(&key()),
+            PostcardBackend::encode_key(&k2)
+        );
+    }
+
+    #[test]
+    fn latency_consistency() {
+        let v = measurement();
+        assert_eq!(v.computed_latency(), v.hop_latency);
+    }
+
+    #[test]
+    fn truncated_value_rejected() {
+        assert!(PostcardBackend::decode_value(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn key_tag() {
+        assert_eq!(PostcardBackend::encode_key(&key())[0], tag::POSTCARD);
+    }
+}

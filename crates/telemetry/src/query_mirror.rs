@@ -1,0 +1,91 @@
+//! Query-based mirroring (Table 1, row 3; Everflow-style).
+//!
+//! The operator installs match-and-mirror queries in switches; each
+//! query's running answer is reported keyed by the query ID.
+
+use dta_wire::Result;
+
+use crate::event::{read_array, tag, Backend};
+
+/// A query answer: a counter plus the last-match context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryAnswer {
+    /// Packets matched so far.
+    pub match_count: u64,
+    /// Timestamp of the most recent match (ns, truncated).
+    pub last_match_ts: u32,
+    /// Switch that reported.
+    pub switch_id: u32,
+    /// Last matched packet length.
+    pub last_pkt_len: u16,
+    /// Reserved.
+    pub flags: u16,
+}
+
+/// The query-mirroring backend.
+pub struct QueryMirrorBackend;
+
+impl Backend for QueryMirrorBackend {
+    type Key = u32; // query ID
+    type Value = QueryAnswer;
+
+    const VALUE_LEN: usize = 20;
+
+    fn encode_key(query_id: &u32) -> Vec<u8> {
+        let mut out = Vec::with_capacity(5);
+        out.push(tag::QUERY_MIRROR);
+        out.extend_from_slice(&query_id.to_be_bytes());
+        out
+    }
+
+    fn encode_value(value: &QueryAnswer) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::VALUE_LEN);
+        out.extend_from_slice(&value.match_count.to_be_bytes());
+        out.extend_from_slice(&value.last_match_ts.to_be_bytes());
+        out.extend_from_slice(&value.switch_id.to_be_bytes());
+        out.extend_from_slice(&value.last_pkt_len.to_be_bytes());
+        out.extend_from_slice(&value.flags.to_be_bytes());
+        out
+    }
+
+    fn decode_value(bytes: &[u8]) -> Result<QueryAnswer> {
+        Ok(QueryAnswer {
+            match_count: u64::from_be_bytes(read_array::<8>(bytes, 0)?),
+            last_match_ts: u32::from_be_bytes(read_array::<4>(bytes, 8)?),
+            switch_id: u32::from_be_bytes(read_array::<4>(bytes, 12)?),
+            last_pkt_len: u16::from_be_bytes(read_array::<2>(bytes, 16)?),
+            flags: u16::from_be_bytes(read_array::<2>(bytes, 18)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = QueryAnswer {
+            match_count: 123_456_789_000,
+            last_match_ts: 42,
+            switch_id: 7,
+            last_pkt_len: 1500,
+            flags: 0,
+        };
+        let bytes = QueryMirrorBackend::encode_value(&v);
+        assert_eq!(bytes.len(), QueryMirrorBackend::VALUE_LEN);
+        assert_eq!(QueryMirrorBackend::decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn key_tag_and_length() {
+        let key = QueryMirrorBackend::encode_key(&0xDEAD);
+        assert_eq!(key[0], tag::QUERY_MIRROR);
+        assert_eq!(key.len(), 5);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert!(QueryMirrorBackend::decode_value(&[0u8; 19]).is_err());
+    }
+}

@@ -1,0 +1,197 @@
+//! Rich in-band INT: configurable per-hop instruction bitmaps.
+//!
+//! Path tracing ([`crate::int_path`]) is the NODE_ID-only INT profile;
+//! operators usually also want hop latency, queue occupancy or
+//! timestamps. [`RichPathBackend`] carries any instruction set from
+//! [`dta_wire::int::Instructions`] — the value length follows
+//! `hops × words(instructions) × 4`, so a deployment picks its profile
+//! once and sizes collector slots accordingly.
+//!
+//! Unlike the fixed-profile backends, this one is configured at runtime,
+//! so it is a struct (not the [`crate::event::Backend`] trait, whose
+//! value length is a compile-time constant).
+
+use dta_wire::int::{Instructions, RichIntStack};
+use dta_wire::{FiveTuple, Result};
+
+use crate::event::{tag, TelemetryRecord};
+
+/// A rich INT backend for a chosen instruction profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RichPathBackend {
+    instructions: Instructions,
+    hops: usize,
+}
+
+impl RichPathBackend {
+    /// Build a backend carrying `instructions` for up to `hops` hops.
+    pub fn new(instructions: Instructions, hops: usize) -> RichPathBackend {
+        RichPathBackend { instructions, hops }
+    }
+
+    /// The paper's Figure 4 profile: 5 hops of node IDs (20-byte
+    /// values) — bit-compatible with [`crate::int_path::IntPathBackend`].
+    pub fn path_tracing() -> RichPathBackend {
+        RichPathBackend::new(Instructions::path_tracing(), 5)
+    }
+
+    /// A latency-diagnosis profile: node ID + hop latency + queue
+    /// occupancy per hop.
+    pub fn latency_profile(hops: usize) -> RichPathBackend {
+        RichPathBackend::new(
+            Instructions::NODE_ID
+                .with(Instructions::HOP_LATENCY)
+                .with(Instructions::QUEUE_OCCUPANCY),
+            hops,
+        )
+    }
+
+    /// The instruction bitmap.
+    pub fn instructions(&self) -> Instructions {
+        self.instructions
+    }
+
+    /// Value length in bytes (what the DART slot layout must be
+    /// configured with).
+    pub fn value_len(&self) -> usize {
+        self.hops * self.instructions.bytes_per_hop()
+    }
+
+    /// Encode the key (same domain tag as plain in-band INT — rich and
+    /// plain profiles are alternative value encodings of the same key
+    /// space and must not be mixed in one region).
+    pub fn encode_key(&self, flow: &FiveTuple) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + FiveTuple::WIRE_LEN);
+        out.push(tag::IN_BAND);
+        out.extend_from_slice(&flow.to_bytes());
+        out
+    }
+
+    /// Encode a stack (padded to the configured hop count).
+    pub fn encode_value(&self, stack: &RichIntStack) -> Result<Vec<u8>> {
+        debug_assert_eq!(stack.instructions(), self.instructions);
+        stack.to_padded_value_bytes(self.hops)
+    }
+
+    /// Decode a value.
+    pub fn decode_value(&self, bytes: &[u8]) -> Result<RichIntStack> {
+        RichIntStack::from_value_bytes(self.instructions, bytes)
+    }
+
+    /// Bundle a record.
+    pub fn record(&self, flow: &FiveTuple, stack: &RichIntStack) -> Result<TelemetryRecord> {
+        Ok(TelemetryRecord {
+            key: self.encode_key(flow),
+            value: self.encode_value(stack)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dta_wire::int::RichHopMetadata;
+    use dta_wire::ipv4;
+
+    fn flow() -> FiveTuple {
+        FiveTuple {
+            src_ip: ipv4::Address([10, 0, 0, 1]),
+            dst_ip: ipv4::Address([10, 0, 1, 9]),
+            src_port: 40000,
+            dst_port: 80,
+            protocol: 6,
+        }
+    }
+
+    fn hop(id: u32) -> RichHopMetadata {
+        RichHopMetadata {
+            switch_id: id,
+            hop_latency: 100 * id,
+            queue_occupancy: id,
+            ..RichHopMetadata::default()
+        }
+    }
+
+    #[test]
+    fn latency_profile_roundtrip() {
+        let backend = RichPathBackend::latency_profile(5);
+        assert_eq!(backend.value_len(), 5 * 12);
+
+        let mut stack = RichIntStack::new(backend.instructions());
+        for id in [1u32, 2, 3, 4, 5] {
+            stack.push(hop(id)).unwrap();
+        }
+        let record = backend.record(&flow(), &stack).unwrap();
+        assert_eq!(record.value.len(), backend.value_len());
+
+        let decoded = backend.decode_value(&record.value).unwrap();
+        assert_eq!(decoded.hops().len(), 5);
+        assert_eq!(decoded.hops()[2].hop_latency, 300);
+        assert_eq!(decoded.hops()[4].queue_occupancy, 5);
+    }
+
+    #[test]
+    fn path_tracing_profile_matches_plain_backend() {
+        use crate::event::Backend;
+        use crate::int_path::IntPathBackend;
+        use dta_wire::int::{HopMetadata, IntStack};
+
+        let rich = RichPathBackend::path_tracing();
+        let mut rich_stack = RichIntStack::new(rich.instructions());
+        let mut plain_stack = IntStack::new();
+        for id in [7u32, 8, 9] {
+            rich_stack.push(hop(id)).unwrap();
+            plain_stack.push(HopMetadata { switch_id: id }).unwrap();
+        }
+        // Byte-compatible values and identical keys.
+        assert_eq!(
+            rich.encode_value(&rich_stack).unwrap(),
+            IntPathBackend::encode_value(&plain_stack)
+        );
+        assert_eq!(
+            rich.encode_key(&flow()),
+            IntPathBackend::encode_key(&flow())
+        );
+    }
+
+    #[test]
+    fn through_a_dart_store() {
+        use dta_core::config::DartConfig;
+        use dta_core::query::QueryOutcome;
+        use dta_core::store::DartStore;
+
+        let backend = RichPathBackend::latency_profile(5);
+        let config = DartConfig::builder()
+            .slots(1 << 10)
+            .copies(2)
+            .value_len(backend.value_len())
+            .build()
+            .unwrap();
+        let mut store = DartStore::new(config);
+
+        let mut stack = RichIntStack::new(backend.instructions());
+        for id in [11u32, 22] {
+            stack.push(hop(id)).unwrap();
+        }
+        let record = backend.record(&flow(), &stack).unwrap();
+        store.insert(&record.key, &record.value).unwrap();
+        match store.query(&record.key) {
+            QueryOutcome::Answer(value) => {
+                let decoded = backend.decode_value(&value).unwrap();
+                assert_eq!(decoded.hops().len(), 2);
+                assert_eq!(decoded.hops()[1].hop_latency, 2200);
+            }
+            QueryOutcome::Empty => panic!("just inserted"),
+        }
+    }
+
+    #[test]
+    fn oversized_stack_rejected() {
+        let backend = RichPathBackend::latency_profile(2);
+        let mut stack = RichIntStack::new(backend.instructions());
+        for id in [1u32, 2, 3] {
+            stack.push(hop(id)).unwrap();
+        }
+        assert!(backend.encode_value(&stack).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Trace-analysis telemetry (Table 1, row 4; dShark/Planck-style).
+//!
+//! In-network trace analyzers digest packet traces and publish compact
+//! analysis outputs. Keys are `(trace ID, analysis kind)`; values are the
+//! analysis output tuple.
+
+use dta_wire::{Error, Result};
+
+use crate::event::{read_array, tag, Backend};
+
+/// What the analysis computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AnalysisKind {
+    /// Loss localization between capture points.
+    LossLocalization,
+    /// One-way latency distribution summary.
+    LatencySummary,
+    /// Reordering detection.
+    Reordering,
+    /// Duplicate-packet detection.
+    Duplication,
+}
+
+impl AnalysisKind {
+    /// Stable wire ID.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            AnalysisKind::LossLocalization => 1,
+            AnalysisKind::LatencySummary => 2,
+            AnalysisKind::Reordering => 3,
+            AnalysisKind::Duplication => 4,
+        }
+    }
+
+    /// Decode a wire ID.
+    pub fn from_u16(raw: u16) -> Result<AnalysisKind> {
+        match raw {
+            1 => Ok(AnalysisKind::LossLocalization),
+            2 => Ok(AnalysisKind::LatencySummary),
+            3 => Ok(AnalysisKind::Reordering),
+            4 => Ok(AnalysisKind::Duplication),
+            _ => Err(Error::Malformed),
+        }
+    }
+}
+
+/// A trace-analysis key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceKey {
+    /// The trace being analyzed.
+    pub trace_id: u32,
+    /// The analysis performed.
+    pub kind: AnalysisKind,
+}
+
+/// The analysis output tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisOutput {
+    /// Packets analyzed.
+    pub packets: u64,
+    /// Affected packets (lost / reordered / duplicated …).
+    pub affected: u32,
+    /// Primary metric (latency p99 in ns, loss location code, …).
+    pub metric: u32,
+    /// Analysis completion timestamp (ns, truncated).
+    pub timestamp: u32,
+}
+
+/// The trace-analysis backend.
+pub struct TraceBackend;
+
+impl Backend for TraceBackend {
+    type Key = TraceKey;
+    type Value = AnalysisOutput;
+
+    const VALUE_LEN: usize = 20;
+
+    fn encode_key(key: &TraceKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(7);
+        out.push(tag::TRACE);
+        out.extend_from_slice(&key.trace_id.to_be_bytes());
+        out.extend_from_slice(&key.kind.to_u16().to_be_bytes());
+        out
+    }
+
+    fn encode_value(value: &AnalysisOutput) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::VALUE_LEN);
+        out.extend_from_slice(&value.packets.to_be_bytes());
+        out.extend_from_slice(&value.affected.to_be_bytes());
+        out.extend_from_slice(&value.metric.to_be_bytes());
+        out.extend_from_slice(&value.timestamp.to_be_bytes());
+        out
+    }
+
+    fn decode_value(bytes: &[u8]) -> Result<AnalysisOutput> {
+        Ok(AnalysisOutput {
+            packets: u64::from_be_bytes(read_array::<8>(bytes, 0)?),
+            affected: u32::from_be_bytes(read_array::<4>(bytes, 8)?),
+            metric: u32::from_be_bytes(read_array::<4>(bytes, 12)?),
+            timestamp: u32::from_be_bytes(read_array::<4>(bytes, 16)?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let v = AnalysisOutput {
+            packets: 10_000_000,
+            affected: 42,
+            metric: 95_000,
+            timestamp: 1234,
+        };
+        let bytes = TraceBackend::encode_value(&v);
+        assert_eq!(bytes.len(), TraceBackend::VALUE_LEN);
+        assert_eq!(TraceBackend::decode_value(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn kind_roundtrip() {
+        for kind in [
+            AnalysisKind::LossLocalization,
+            AnalysisKind::LatencySummary,
+            AnalysisKind::Reordering,
+            AnalysisKind::Duplication,
+        ] {
+            assert_eq!(AnalysisKind::from_u16(kind.to_u16()).unwrap(), kind);
+        }
+        assert!(AnalysisKind::from_u16(0).is_err());
+    }
+
+    #[test]
+    fn keys_tagged_and_distinct() {
+        let a = TraceBackend::encode_key(&TraceKey {
+            trace_id: 1,
+            kind: AnalysisKind::Reordering,
+        });
+        let b = TraceBackend::encode_key(&TraceKey {
+            trace_id: 1,
+            kind: AnalysisKind::Duplication,
+        });
+        assert_eq!(a[0], tag::TRACE);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based round-trips for every backend codec.
+
+use proptest::prelude::*;
+
+use dta_telemetry::anomaly::{AnomalyBackend, AnomalyEvent, AnomalyKey, AnomalyKind};
+use dta_telemetry::event::Backend;
+use dta_telemetry::failure::{FailureBackend, FailureEvent, FailureKey};
+use dta_telemetry::postcard::{LocalMeasurement, PostcardBackend, PostcardKey};
+use dta_telemetry::query_mirror::{QueryAnswer, QueryMirrorBackend};
+use dta_telemetry::trace::{AnalysisKind, AnalysisOutput, TraceBackend, TraceKey};
+use dta_wire::{ipv4, FiveTuple};
+
+fn arb_flow() -> impl Strategy<Value = FiveTuple> {
+    (
+        any::<[u8; 4]>(),
+        any::<[u8; 4]>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u8>(),
+    )
+        .prop_map(|(s, d, sp, dp, p)| FiveTuple {
+            src_ip: ipv4::Address(s),
+            dst_ip: ipv4::Address(d),
+            src_port: sp,
+            dst_port: dp,
+            protocol: p,
+        })
+}
+
+proptest! {
+    #[test]
+    fn postcard_roundtrip(flow in arb_flow(), sw in any::<u32>(),
+                          its in any::<u32>(), ets in any::<u32>(), qd in any::<u32>(),
+                          port in any::<u16>(), qid in any::<u8>(), flags in any::<u8>(),
+                          lat in any::<u32>()) {
+        let value = LocalMeasurement {
+            ingress_ts: its, egress_ts: ets, queue_depth: qd,
+            egress_port: port, queue_id: qid, flags, hop_latency: lat,
+        };
+        let bytes = PostcardBackend::encode_value(&value);
+        prop_assert_eq!(bytes.len(), PostcardBackend::VALUE_LEN);
+        prop_assert_eq!(PostcardBackend::decode_value(&bytes).unwrap(), value);
+        // Key uniqueness over switch id.
+        let k1 = PostcardBackend::encode_key(&PostcardKey { switch_id: sw, flow });
+        let k2 = PostcardBackend::encode_key(&PostcardKey { switch_id: sw.wrapping_add(1), flow });
+        prop_assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn query_mirror_roundtrip(count in any::<u64>(), ts in any::<u32>(), sw in any::<u32>(),
+                              len in any::<u16>(), flags in any::<u16>()) {
+        let value = QueryAnswer {
+            match_count: count, last_match_ts: ts, switch_id: sw,
+            last_pkt_len: len, flags,
+        };
+        let bytes = QueryMirrorBackend::encode_value(&value);
+        prop_assert_eq!(QueryMirrorBackend::decode_value(&bytes).unwrap(), value);
+    }
+
+    #[test]
+    fn anomaly_roundtrip(flow in arb_flow(), kind_idx in 0usize..5,
+                         ts in any::<u32>(), sw in any::<u32>(),
+                         data in any::<u64>(), count in any::<u32>()) {
+        let kind = [
+            AnomalyKind::Drop, AnomalyKind::Loop, AnomalyKind::Congestion,
+            AnomalyKind::Blackhole, AnomalyKind::PathChange,
+        ][kind_idx];
+        let value = AnomalyEvent { timestamp: ts, switch_id: sw, event_data: data, count };
+        let bytes = AnomalyBackend::encode_value(&value);
+        prop_assert_eq!(AnomalyBackend::decode_value(&bytes).unwrap(), value);
+        prop_assert_eq!(AnomalyKind::from_u16(kind.to_u16()).unwrap(), kind);
+        let _ = AnomalyBackend::encode_key(&AnomalyKey { flow, kind });
+    }
+
+    #[test]
+    fn failure_roundtrip(fid in any::<u32>(), loc in any::<u32>(), ts in any::<u32>(),
+                         code in any::<u32>(), entity in any::<u32>(),
+                         sev in any::<u32>(), count in any::<u32>()) {
+        let value = FailureEvent {
+            timestamp: ts, debug_code: code, entity, severity: sev, count,
+        };
+        let bytes = FailureBackend::encode_value(&value);
+        prop_assert_eq!(FailureBackend::decode_value(&bytes).unwrap(), value);
+        let k1 = FailureBackend::encode_key(&FailureKey { failure_id: fid, location: loc });
+        let k2 = FailureBackend::encode_key(&FailureKey { failure_id: fid, location: loc.wrapping_add(1) });
+        prop_assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn trace_roundtrip(tid in any::<u32>(), kind_idx in 0usize..4,
+                       pkts in any::<u64>(), affected in any::<u32>(),
+                       metric in any::<u32>(), ts in any::<u32>()) {
+        let kind = [
+            AnalysisKind::LossLocalization, AnalysisKind::LatencySummary,
+            AnalysisKind::Reordering, AnalysisKind::Duplication,
+        ][kind_idx];
+        let value = AnalysisOutput { packets: pkts, affected, metric, timestamp: ts };
+        let bytes = TraceBackend::encode_value(&value);
+        prop_assert_eq!(TraceBackend::decode_value(&bytes).unwrap(), value);
+        let _ = TraceBackend::encode_key(&TraceKey { trace_id: tid, kind });
+    }
+
+    /// All backends share 20-byte values, so any backend's value decodes
+    /// without panicking under any other backend (type confusion is
+    /// detected by checksums/key-domains, not codecs).
+    #[test]
+    fn codecs_are_total_on_20_bytes(bytes in proptest::collection::vec(any::<u8>(), 20..=20)) {
+        let _ = PostcardBackend::decode_value(&bytes).unwrap();
+        let _ = QueryMirrorBackend::decode_value(&bytes).unwrap();
+        let _ = AnomalyBackend::decode_value(&bytes).unwrap();
+        let _ = FailureBackend::decode_value(&bytes).unwrap();
+        let _ = TraceBackend::decode_value(&bytes).unwrap();
+    }
+}

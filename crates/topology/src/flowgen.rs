@@ -1,0 +1,204 @@
+//! Reproducible flow workloads.
+//!
+//! Generates flow 5-tuples between fat-tree hosts. Destination selection
+//! is either uniform or Zipf-skewed (datacenter traffic concentrates on
+//! hot services); source ports are ephemeral, so keys are unique with
+//! overwhelming probability and the generator additionally deduplicates.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dta_wire::FiveTuple;
+
+use crate::fattree::{FatTree, Host};
+
+/// Destination skew.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Skew {
+    /// Uniform over hosts.
+    Uniform,
+    /// Zipf with this exponent (e.g. 1.0).
+    Zipf(f64),
+}
+
+/// A sampled Zipf distribution over `n` ranks.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf(`s`) distribution over `n` ranks.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw a rank `∈ [0, n)`.
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// A generated flow: endpoints plus the wire 5-tuple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Source host.
+    pub src: Host,
+    /// Destination host.
+    pub dst: Host,
+    /// The 5-tuple key.
+    pub tuple: FiveTuple,
+}
+
+/// Deterministic flow generator for a fat-tree.
+pub struct FlowGenerator {
+    tree: FatTree,
+    rng: StdRng,
+    skew: Skew,
+    zipf: Option<Zipf>,
+    seen: HashSet<FiveTuple>,
+    /// Well-known destination ports drawn from.
+    dst_ports: Vec<u16>,
+}
+
+impl FlowGenerator {
+    /// Build a generator.
+    pub fn new(tree: FatTree, skew: Skew, seed: u64) -> FlowGenerator {
+        let zipf = match skew {
+            Skew::Zipf(s) => Some(Zipf::new(tree.host_count() as usize, s)),
+            Skew::Uniform => None,
+        };
+        FlowGenerator {
+            tree,
+            rng: StdRng::seed_from_u64(seed),
+            skew,
+            zipf,
+            seen: HashSet::new(),
+            dst_ports: vec![80, 443, 8080, 5432, 6379, 9092],
+        }
+    }
+
+    /// The configured skew.
+    pub fn skew(&self) -> Skew {
+        self.skew
+    }
+
+    /// Generate the next flow with a previously unseen 5-tuple.
+    pub fn next_flow(&mut self) -> Flow {
+        loop {
+            let hosts = self.tree.host_count();
+            let src = self.tree.host(self.rng.gen_range(0..hosts));
+            let dst_index = match &self.zipf {
+                Some(z) => z.sample(&mut self.rng) as u32,
+                None => self.rng.gen_range(0..hosts),
+            };
+            let dst = self.tree.host(dst_index);
+            if src == dst {
+                continue;
+            }
+            let tuple = FiveTuple {
+                src_ip: src.ip(),
+                dst_ip: dst.ip(),
+                src_port: self.rng.gen_range(32768..=60999),
+                dst_port: self.dst_ports[self.rng.gen_range(0..self.dst_ports.len())],
+                protocol: 6,
+            };
+            if self.seen.insert(tuple) {
+                return Flow { src, dst, tuple };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> FatTree {
+        FatTree::new(4).unwrap()
+    }
+
+    #[test]
+    fn flows_are_deterministic_per_seed() {
+        let mut a = FlowGenerator::new(tree(), Skew::Uniform, 7);
+        let mut b = FlowGenerator::new(tree(), Skew::Uniform, 7);
+        for _ in 0..32 {
+            assert_eq!(a.next_flow(), b.next_flow());
+        }
+        let mut c = FlowGenerator::new(tree(), Skew::Uniform, 8);
+        assert_ne!(a.next_flow(), c.next_flow());
+    }
+
+    #[test]
+    fn flows_never_duplicate_keys() {
+        let mut g = FlowGenerator::new(tree(), Skew::Uniform, 1);
+        let mut keys = HashSet::new();
+        for _ in 0..1000 {
+            assert!(keys.insert(g.next_flow().tuple));
+        }
+    }
+
+    #[test]
+    fn endpoints_differ() {
+        let mut g = FlowGenerator::new(tree(), Skew::Uniform, 2);
+        for _ in 0..200 {
+            let f = g.next_flow();
+            assert_ne!(f.src, f.dst);
+            assert_eq!(f.tuple.src_ip, f.src.ip());
+            assert_eq!(f.tuple.dst_ip, f.dst.ip());
+        }
+    }
+
+    #[test]
+    fn zipf_skews_destinations() {
+        let mut g = FlowGenerator::new(tree(), Skew::Zipf(1.2), 3);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            *counts.entry(g.next_flow().dst).or_insert(0u32) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap_or(&0);
+        assert!(
+            max > 4 * min.max(1),
+            "Zipf head ({max}) should dominate tail ({min})"
+        );
+    }
+
+    #[test]
+    fn zipf_cdf_properties() {
+        let z = Zipf::new(100, 1.0);
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+        // CDF strictly increasing.
+        for w in z.cdf.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Rank 0 carries the most mass.
+        assert!(z.cdf[0] > 1.0 / 100.0);
+    }
+
+    #[test]
+    fn zipf_sampling_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+}

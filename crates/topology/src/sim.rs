@@ -1,0 +1,578 @@
+//! The end-to-end DART simulator.
+//!
+//! Wires the whole paper together: a fat-tree of `IntSwitch`es (real
+//! pipeline, real CRC hashing, real RoCEv2 deparsing), a lossy link, and
+//! a collector cluster whose simulated RNICs parse, validate and DMA
+//! every report. Ground truth is remembered per flow so queries can be
+//! classified as correct / empty / error — the §5 metrics — including
+//! per-age buckets for the Figure 4 aging curves.
+
+use std::collections::HashMap;
+
+use dta_collector::CollectorCluster;
+use dta_core::config::DartConfig;
+use dta_core::hash::MappingKind;
+use dta_core::query::{classify, QueryClass, QueryOutcome, ReturnPolicy};
+use dta_rdma::link::{link, FaultModel, LinkRx, LinkStats, LinkTx};
+use dta_switch::control_plane::ControlPlane;
+use dta_switch::egress::EgressConfig;
+use dta_switch::int_transit::{IntError, IntPacket, IntRole, IntSwitch};
+use dta_switch::SwitchIdentity;
+use dta_wire::dart::{ChecksumWidth, SlotLayout};
+use dta_wire::FiveTuple;
+
+use dta_telemetry::int_path::PATH_HOPS;
+
+use crate::fattree::{FatTree, TopologyError};
+use crate::flowgen::{FlowGenerator, Skew};
+
+/// How a finished flow's report copies reach the collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportMode {
+    /// Emit all `N` copies deterministically (the steady-state of
+    /// per-packet reporting — every slot eventually written).
+    AllCopies,
+    /// Emit this many reports, each to an RNG-chosen copy slot (models
+    /// a flow with few packets that may not cover every slot).
+    PerPacket(u8),
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Fat-tree arity.
+    pub k: u8,
+    /// Slots per collector (power of two — switch constraint).
+    pub slots: u64,
+    /// Redundant copies per key (`N`).
+    pub copies: u8,
+    /// Number of collectors.
+    pub collectors: u32,
+    /// Stored checksum width.
+    pub checksum: ChecksumWidth,
+    /// Link fault model between switches and collectors.
+    pub fault: FaultModel,
+    /// Destination skew of the workload.
+    pub skew: Skew,
+    /// Report emission mode.
+    pub mode: ReportMode,
+    /// Query return policy.
+    pub policy: ReturnPolicy,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            k: 4,
+            slots: 1 << 14,
+            copies: 2,
+            collectors: 1,
+            checksum: ChecksumWidth::B32,
+            fault: FaultModel::Perfect,
+            skew: Skew::Uniform,
+            mode: ReportMode::AllCopies,
+            policy: ReturnPolicy::Plurality,
+            seed: 0xDA27,
+        }
+    }
+}
+
+/// Outcome tallies plus per-age buckets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Keys answered correctly.
+    pub correct: u64,
+    /// Keys with empty returns.
+    pub empty: u64,
+    /// Keys answered incorrectly.
+    pub error: u64,
+    /// Success rate per age bucket, oldest first (Figure 4's x-axis).
+    pub age_buckets: Vec<f64>,
+    /// Link delivery statistics.
+    pub link: LinkStats,
+    /// Total RDMA WRITEs executed by collector NICs.
+    pub nic_writes: u64,
+}
+
+impl SimReport {
+    /// Total keys queried.
+    pub fn total(&self) -> u64 {
+        self.correct + self.empty + self.error
+    }
+
+    /// Overall query success rate.
+    pub fn success_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.correct as f64 / self.total() as f64
+        }
+    }
+}
+
+/// Errors from the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Topology-level failure.
+    Topology(TopologyError),
+    /// Switch-pipeline failure.
+    Switch(IntError),
+    /// Store/collector configuration failure.
+    Config(dta_core::DartError),
+}
+
+impl core::fmt::Display for SimError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SimError::Topology(e) => write!(f, "topology: {e}"),
+            SimError::Switch(e) => write!(f, "switch: {e}"),
+            SimError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<TopologyError> for SimError {
+    fn from(e: TopologyError) -> Self {
+        SimError::Topology(e)
+    }
+}
+
+impl From<IntError> for SimError {
+    fn from(e: IntError) -> Self {
+        SimError::Switch(e)
+    }
+}
+
+impl From<dta_core::DartError> for SimError {
+    fn from(e: dta_core::DartError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// The end-to-end simulator.
+pub struct FatTreeSim {
+    tree: FatTree,
+    config: SimConfig,
+    switches: HashMap<u32, IntSwitch>,
+    cluster: CollectorCluster,
+    tx: LinkTx,
+    rx: LinkRx,
+    flowgen: FlowGenerator,
+    /// `(key 5-tuple, true value)` in insertion (age) order.
+    truths: Vec<(FiveTuple, Vec<u8>)>,
+}
+
+impl FatTreeSim {
+    /// Build the full system: tree, switches, collectors, links.
+    pub fn new(config: SimConfig) -> Result<FatTreeSim, SimError> {
+        let tree = FatTree::new(config.k)?;
+        let layout = SlotLayout {
+            checksum: config.checksum,
+            value_len: PATH_HOPS * 4,
+        };
+
+        // Collectors first (their directory configures the switches).
+        let dart_config = DartConfig::builder()
+            .slots(config.slots)
+            .copies(config.copies)
+            .checksum(config.checksum)
+            .value_len(layout.value_len)
+            .collectors(config.collectors)
+            .mapping(MappingKind::Crc)
+            .policy(config.policy)
+            .build()?;
+        let mut cluster = CollectorCluster::new(dart_config)?;
+
+        // Switches, each running the real egress pipeline.
+        let egress_config = EgressConfig {
+            copies: config.copies,
+            slots: config.slots,
+            layout,
+            collectors: config.collectors,
+            udp_src_port: 49152,
+        };
+        let mut switches = HashMap::new();
+        for id in tree.all_switch_ids() {
+            let mut sw = IntSwitch::new(
+                SwitchIdentity::derived(id),
+                egress_config,
+                PATH_HOPS,
+                config.seed ^ u64::from(id),
+            )
+            .map_err(|e| SimError::Switch(IntError::Switch(e)))?;
+            // Each switch gets its own QPs at every collector so its PSN
+            // sequence is independently tracked.
+            let directory = cluster.directory_for_switch();
+            ControlPlane::new()
+                .install_directory(sw.egress_mut(), &directory)
+                .map_err(|e| SimError::Switch(IntError::Switch(e)))?;
+            switches.insert(id, sw);
+        }
+
+        let (tx, rx) = link(config.fault, config.seed ^ 0x11A);
+        let flowgen = FlowGenerator::new(tree, config.skew, config.seed ^ 0xF10);
+        Ok(FatTreeSim {
+            tree,
+            config,
+            switches,
+            cluster,
+            tx,
+            rx,
+            flowgen,
+            truths: Vec::new(),
+        })
+    }
+
+    /// The underlying topology.
+    pub fn tree(&self) -> FatTree {
+        self.tree
+    }
+
+    /// Number of flows simulated so far.
+    pub fn flows_run(&self) -> u64 {
+        self.truths.len() as u64
+    }
+
+    /// Run one flow end to end; returns its key.
+    pub fn run_flow(&mut self) -> Result<FiveTuple, SimError> {
+        let flow = self.flowgen.next_flow();
+        let route = self.tree.route(flow.src, flow.dst, &flow.tuple)?;
+
+        // INT accumulation along the path.
+        let mut packet = IntPacket::new(flow.tuple);
+        for (i, &hop) in route.iter().enumerate() {
+            let role = if i == 0 {
+                IntRole::Source
+            } else {
+                IntRole::Transit
+            };
+            let sw = self.switches.get_mut(&hop).expect("route within tree");
+            sw.process(&mut packet, role)?;
+        }
+
+        // Sink reporting (the last hop on the route).
+        let sink_id = *route.last().expect("routes are non-empty");
+        let sink = self.switches.get_mut(&sink_id).expect("sink in tree");
+        let truth = packet
+            .stack
+            .to_padded_value_bytes(PATH_HOPS)
+            .map_err(|_| SimError::Switch(IntError::StackOverflow))?;
+
+        match self.config.mode {
+            ReportMode::AllCopies => {
+                for report in sink.report_all_copies(&flow.tuple, &packet.stack)? {
+                    self.tx.send(report.frame);
+                }
+            }
+            ReportMode::PerPacket(count) => {
+                let key = flow.tuple.to_bytes();
+                for _ in 0..count {
+                    let report = sink
+                        .egress_mut()
+                        .craft_report(&key, &truth)
+                        .map_err(IntError::Switch)?;
+                    self.tx.send(report.frame);
+                }
+            }
+        }
+
+        // Drain the wire into the collectors.
+        self.tx.flush();
+        while let Some(frame) = self.rx.try_recv() {
+            self.cluster.deliver(&frame);
+        }
+
+        self.truths.push((flow.tuple, truth));
+        Ok(flow.tuple)
+    }
+
+    /// Run `n` flows.
+    pub fn run_flows(&mut self, n: u64) -> Result<(), SimError> {
+        for _ in 0..n {
+            self.run_flow()?;
+        }
+        Ok(())
+    }
+
+    /// Query one previously reported flow.
+    pub fn query_flow(&mut self, tuple: &FiveTuple) -> QueryOutcome {
+        self.cluster.query(&tuple.to_bytes())
+    }
+
+    /// Run one flow in *postcard mode* (Table 1 row 2): every switch on
+    /// the path reports its own local measurement keyed by
+    /// `(switch ID, 5-tuple)`. Returns the flow key and its route.
+    ///
+    /// Postcard truths are not entered into the aging bookkeeping (their
+    /// key space is disjoint from the in-band keys); query them back via
+    /// [`FatTreeSim::query_postcard`].
+    pub fn run_flow_postcards(&mut self) -> Result<(FiveTuple, Vec<u32>), SimError> {
+        use dta_telemetry::event::Backend;
+        use dta_telemetry::postcard::{PostcardBackend, PostcardKey};
+
+        let flow = self.flowgen.next_flow();
+        let route = self.tree.route(flow.src, flow.dst, &flow.tuple)?;
+        for (hop, &switch_id) in route.iter().enumerate() {
+            let record = PostcardBackend::record(
+                &PostcardKey {
+                    switch_id,
+                    flow: flow.tuple,
+                },
+                &Self::synthetic_measurement(hop as u32, switch_id),
+            );
+            let sw = self
+                .switches
+                .get_mut(&switch_id)
+                .expect("route within tree");
+            for copy in 0..self.config.copies {
+                let report = sw
+                    .egress_mut()
+                    .craft_report_copy(&record.key, &record.value, copy)
+                    .map_err(IntError::Switch)?;
+                self.tx.send(report.frame);
+            }
+        }
+        self.tx.flush();
+        while let Some(frame) = self.rx.try_recv() {
+            self.cluster.deliver(&frame);
+        }
+        Ok((flow.tuple, route))
+    }
+
+    /// The deterministic per-hop measurement postcard mode reports
+    /// (reproducible ground truth for tests).
+    pub fn synthetic_measurement(
+        hop: u32,
+        switch_id: u32,
+    ) -> dta_telemetry::postcard::LocalMeasurement {
+        dta_telemetry::postcard::LocalMeasurement {
+            ingress_ts: 1_000 * (hop + 1),
+            egress_ts: 1_000 * (hop + 1) + 100 + switch_id,
+            queue_depth: switch_id % 64,
+            egress_port: (hop % 48) as u16,
+            queue_id: 0,
+            flags: 0,
+            hop_latency: 100 + switch_id,
+        }
+    }
+
+    /// Query a postcard: "what did `switch_id` measure for this flow?"
+    pub fn query_postcard(
+        &mut self,
+        switch_id: u32,
+        tuple: &FiveTuple,
+    ) -> Option<dta_telemetry::postcard::LocalMeasurement> {
+        use dta_telemetry::event::Backend;
+        use dta_telemetry::postcard::{PostcardBackend, PostcardKey};
+        let key = PostcardBackend::encode_key(&PostcardKey {
+            switch_id,
+            flow: *tuple,
+        });
+        match self.cluster.query(&key) {
+            QueryOutcome::Answer(value) => PostcardBackend::decode_value(&value).ok(),
+            QueryOutcome::Empty => None,
+        }
+    }
+
+    /// Query every reported flow and tally outcomes into `buckets` age
+    /// buckets (oldest first).
+    pub fn query_all(&mut self, buckets: usize) -> SimReport {
+        let buckets = buckets.max(1);
+        let total = self.truths.len().max(1);
+        let mut correct = 0u64;
+        let mut empty = 0u64;
+        let mut error = 0u64;
+        let mut bucket_correct = vec![0u64; buckets];
+        let mut bucket_total = vec![0u64; buckets];
+
+        let truths = std::mem::take(&mut self.truths);
+        for (i, (tuple, truth)) in truths.iter().enumerate() {
+            let outcome = self.cluster.query(&tuple.to_bytes());
+            let bucket = i * buckets / total;
+            bucket_total[bucket] += 1;
+            match classify(&outcome, truth) {
+                QueryClass::Correct => {
+                    correct += 1;
+                    bucket_correct[bucket] += 1;
+                }
+                QueryClass::EmptyReturn => empty += 1,
+                QueryClass::ReturnError => error += 1,
+            }
+        }
+        self.truths = truths;
+
+        SimReport {
+            correct,
+            empty,
+            error,
+            age_buckets: bucket_correct
+                .iter()
+                .zip(&bucket_total)
+                .map(|(&c, &t)| if t == 0 { 0.0 } else { c as f64 / t as f64 })
+                .collect(),
+            link: self.tx.stats(),
+            nic_writes: self.cluster.total_writes(),
+        }
+    }
+
+    /// Access the collector cluster (e.g. for NIC counters).
+    pub fn cluster(&self) -> &CollectorCluster {
+        &self.cluster
+    }
+}
+
+impl core::fmt::Debug for FatTreeSim {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FatTreeSim")
+            .field("k", &self.config.k)
+            .field("flows_run", &self.truths.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_load_everything_queryable() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 12,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(100).unwrap();
+        let report = sim.query_all(4);
+        assert_eq!(report.total(), 100);
+        assert_eq!(report.error, 0);
+        assert!(
+            report.success_rate() > 0.99,
+            "success {}",
+            report.success_rate()
+        );
+        // Each flow wrote N=2 copies.
+        assert_eq!(report.nic_writes, 200);
+    }
+
+    #[test]
+    fn query_returns_the_actual_path() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 12,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        let tuple = sim.run_flow().unwrap();
+        match sim.query_flow(&tuple) {
+            QueryOutcome::Answer(value) => {
+                let path = dta_telemetry::int_path::IntPathBackend::decode_path(&value).unwrap();
+                assert!(!path.is_empty() && path.len() <= 5);
+                // Every hop must be a real switch of the tree.
+                for id in path {
+                    assert!(sim.tree().layer_of(id).is_some(), "bogus hop {id}");
+                }
+            }
+            QueryOutcome::Empty => panic!("fresh flow must be queryable"),
+        }
+    }
+
+    #[test]
+    fn overload_ages_out_old_flows() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 256,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(512).unwrap();
+        let report = sim.query_all(4);
+        assert!(report.success_rate() < 0.9);
+        // Younger buckets must do better than the oldest.
+        let first = report.age_buckets[0];
+        let last = *report.age_buckets.last().unwrap();
+        assert!(last > first, "newest {last} should beat oldest {first}");
+        // 32-bit checksums: no wrong answers expected at this scale.
+        assert_eq!(report.error, 0);
+    }
+
+    #[test]
+    fn loss_reduces_but_does_not_break_collection() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 12,
+            fault: FaultModel::Bernoulli { loss: 0.3 },
+            mode: ReportMode::PerPacket(1),
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(300).unwrap();
+        let report = sim.query_all(2);
+        assert!(report.link.dropped > 0, "loss model must bite");
+        // With one report per flow and 30% loss, roughly 70% remain
+        // queryable; allow wide slack.
+        let rate = report.success_rate();
+        assert!(
+            (0.5..0.95).contains(&rate),
+            "success {rate} out of expected band"
+        );
+    }
+
+    #[test]
+    fn multi_collector_sharding_works_end_to_end() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 10,
+            collectors: 4,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(200).unwrap();
+        let report = sim.query_all(2);
+        assert!(report.success_rate() > 0.99);
+        // Writes must be spread over several collectors.
+        let with_writes = (0..4)
+            .filter(|&i| sim.cluster().collector(i).unwrap().nic_counters().writes > 0)
+            .count();
+        assert!(with_writes >= 2, "only {with_writes} collectors used");
+    }
+
+    #[test]
+    fn postcard_mode_reconstructs_per_hop_measurements() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 12,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        let (tuple, route) = sim.run_flow_postcards().unwrap();
+        assert!(!route.is_empty());
+        // One query per (switch, flow) reconstructs the whole path view.
+        for (hop, &switch_id) in route.clone().iter().enumerate() {
+            let m = sim
+                .query_postcard(switch_id, &tuple)
+                .unwrap_or_else(|| panic!("postcard from switch {switch_id} lost"));
+            assert_eq!(m, FatTreeSim::synthetic_measurement(hop as u32, switch_id));
+        }
+        // A switch not on the route has nothing to say.
+        let off_route = sim
+            .tree()
+            .all_switch_ids()
+            .into_iter()
+            .find(|id| !route.contains(id))
+            .expect("k=4 has 20 switches");
+        assert!(sim.query_postcard(off_route, &tuple).is_none());
+    }
+
+    #[test]
+    fn per_packet_mode_converges_to_all_copies() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 12,
+            mode: ReportMode::PerPacket(8),
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(100).unwrap();
+        let report = sim.query_all(2);
+        // 8 random copy draws cover both slots with prob 1 - 2^-7 each.
+        assert!(report.success_rate() > 0.95);
+    }
+}

@@ -1,0 +1,280 @@
+//! Ethernet II frames.
+//!
+//! DART reports leave the switch as ordinary Ethernet frames carrying
+//! IPv4/UDP/RoCEv2. The view here is deliberately minimal: destination and
+//! source addresses plus EtherType, which is all the collector NIC and the
+//! software switch pipeline need.
+
+use crate::field::Field;
+use crate::{Error, Result};
+
+/// A six-byte IEEE 802 MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Address(pub [u8; 6]);
+
+impl Address {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: Address = Address([0xFF; 6]);
+
+    /// Construct from a byte slice.
+    ///
+    /// # Panics
+    /// Panics if `data` is shorter than six bytes.
+    pub fn from_bytes(data: &[u8]) -> Address {
+        let mut bytes = [0u8; 6];
+        bytes.copy_from_slice(&data[..6]);
+        Address(bytes)
+    }
+
+    /// Whether this is the broadcast address.
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+
+    /// Whether the individual/group bit marks this address as multicast.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+
+    /// Whether this is a unicast address.
+    pub fn is_unicast(&self) -> bool {
+        !self.is_multicast()
+    }
+}
+
+impl core::fmt::Display for Address {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values used by DART traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (`0x0800`).
+    Ipv4,
+    /// ARP (`0x0806`).
+    Arp,
+    /// Any other value.
+    Unknown(u16),
+}
+
+impl From<u16> for EtherType {
+    fn from(raw: u16) -> Self {
+        match raw {
+            0x0800 => EtherType::Ipv4,
+            0x0806 => EtherType::Arp,
+            other => EtherType::Unknown(other),
+        }
+    }
+}
+
+impl From<EtherType> for u16 {
+    fn from(value: EtherType) -> u16 {
+        match value {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Arp => 0x0806,
+            EtherType::Unknown(other) => other,
+        }
+    }
+}
+
+mod fields {
+    use super::Field;
+    pub const DESTINATION: Field = 0..6;
+    pub const SOURCE: Field = 6..12;
+    pub const ETHERTYPE: Field = 12..14;
+    pub const PAYLOAD: usize = 14;
+}
+
+/// Length of the Ethernet II header.
+pub const HEADER_LEN: usize = fields::PAYLOAD;
+
+/// A read/write view of an Ethernet II frame.
+#[derive(Debug, Clone)]
+pub struct Frame<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Frame<T> {
+    /// Wrap a buffer without checking its length.
+    pub fn new_unchecked(buffer: T) -> Frame<T> {
+        Frame { buffer }
+    }
+
+    /// Wrap a buffer, ensuring it can hold at least the header.
+    pub fn new_checked(buffer: T) -> Result<Frame<T>> {
+        let frame = Self::new_unchecked(buffer);
+        frame.check_len()?;
+        Ok(frame)
+    }
+
+    /// Ensure the buffer holds at least the header.
+    pub fn check_len(&self) -> Result<()> {
+        if self.buffer.as_ref().len() < HEADER_LEN {
+            Err(Error::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Unwrap the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Destination MAC address.
+    pub fn dst_addr(&self) -> Address {
+        Address::from_bytes(&self.buffer.as_ref()[fields::DESTINATION])
+    }
+
+    /// Source MAC address.
+    pub fn src_addr(&self) -> Address {
+        Address::from_bytes(&self.buffer.as_ref()[fields::SOURCE])
+    }
+
+    /// EtherType.
+    pub fn ethertype(&self) -> EtherType {
+        let raw = &self.buffer.as_ref()[fields::ETHERTYPE];
+        EtherType::from(u16::from_be_bytes([raw[0], raw[1]]))
+    }
+
+    /// Immutable access to the payload following the header.
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[fields::PAYLOAD..]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Frame<T> {
+    /// Set the destination MAC address.
+    pub fn set_dst_addr(&mut self, addr: Address) {
+        self.buffer.as_mut()[fields::DESTINATION].copy_from_slice(&addr.0);
+    }
+
+    /// Set the source MAC address.
+    pub fn set_src_addr(&mut self, addr: Address) {
+        self.buffer.as_mut()[fields::SOURCE].copy_from_slice(&addr.0);
+    }
+
+    /// Set the EtherType.
+    pub fn set_ethertype(&mut self, value: EtherType) {
+        let raw = u16::from(value).to_be_bytes();
+        self.buffer.as_mut()[fields::ETHERTYPE].copy_from_slice(&raw);
+    }
+
+    /// Mutable access to the payload following the header.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.buffer.as_mut()[fields::PAYLOAD..]
+    }
+}
+
+/// Owned representation of an Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source MAC address.
+    pub src_addr: Address,
+    /// Destination MAC address.
+    pub dst_addr: Address,
+    /// EtherType of the payload.
+    pub ethertype: EtherType,
+}
+
+impl Repr {
+    /// Parse a frame view into a representation.
+    pub fn parse<T: AsRef<[u8]>>(frame: &Frame<T>) -> Result<Repr> {
+        frame.check_len()?;
+        Ok(Repr {
+            src_addr: frame.src_addr(),
+            dst_addr: frame.dst_addr(),
+            ethertype: frame.ethertype(),
+        })
+    }
+
+    /// Length of the emitted header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit this representation into a frame view.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, frame: &mut Frame<T>) {
+        frame.set_src_addr(self.src_addr);
+        frame.set_dst_addr(self.dst_addr);
+        frame.set_ethertype(self.ethertype);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    static FRAME_BYTES: [u8; 18] = [
+        0x02, 0x02, 0x02, 0x02, 0x02, 0x02, // dst
+        0x01, 0x01, 0x01, 0x01, 0x01, 0x01, // src
+        0x08, 0x00, // ipv4
+        0xAA, 0xBB, 0xCC, 0xDD, // payload
+    ];
+
+    #[test]
+    fn parse() {
+        let frame = Frame::new_checked(&FRAME_BYTES[..]).unwrap();
+        assert_eq!(frame.dst_addr(), Address([0x02; 6]));
+        assert_eq!(frame.src_addr(), Address([0x01; 6]));
+        assert_eq!(frame.ethertype(), EtherType::Ipv4);
+        assert_eq!(frame.payload(), &[0xAA, 0xBB, 0xCC, 0xDD]);
+    }
+
+    #[test]
+    fn emit_roundtrip() {
+        let repr = Repr {
+            src_addr: Address([0x01; 6]),
+            dst_addr: Address([0x02; 6]),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut bytes = vec![0u8; repr.buffer_len() + 4];
+        let mut frame = Frame::new_unchecked(&mut bytes[..]);
+        repr.emit(&mut frame);
+        frame
+            .payload_mut()
+            .copy_from_slice(&[0xAA, 0xBB, 0xCC, 0xDD]);
+        assert_eq!(&bytes[..], &FRAME_BYTES[..]);
+        let parsed = Repr::parse(&Frame::new_checked(&bytes[..]).unwrap()).unwrap();
+        assert_eq!(parsed, repr);
+    }
+
+    #[test]
+    fn truncated() {
+        assert!(matches!(
+            Frame::new_checked(&FRAME_BYTES[..13]),
+            Err(Error::Truncated)
+        ));
+    }
+
+    #[test]
+    fn address_classes() {
+        assert!(Address::BROADCAST.is_broadcast());
+        assert!(Address::BROADCAST.is_multicast());
+        assert!(Address([0x01, 0, 0, 0, 0, 1]).is_multicast());
+        assert!(Address([0x02, 0, 0, 0, 0, 1]).is_unicast());
+    }
+
+    #[test]
+    fn ethertype_conversion() {
+        assert_eq!(u16::from(EtherType::Ipv4), 0x0800);
+        assert_eq!(EtherType::from(0x0806), EtherType::Arp);
+        assert_eq!(EtherType::from(0x1234), EtherType::Unknown(0x1234));
+        assert_eq!(u16::from(EtherType::Unknown(0x1234)), 0x1234);
+    }
+
+    #[test]
+    fn address_display() {
+        assert_eq!(
+            Address([0xde, 0xad, 0xbe, 0xef, 0x00, 0x01]).to_string(),
+            "de:ad:be:ef:00:01"
+        );
+    }
+}

@@ -1,0 +1,451 @@
+//! IPv4 packets.
+//!
+//! RoCEv2 runs over UDP/IPv4 in DART's prototype, so the switch pipeline
+//! must emit well-formed IPv4 headers (with a correct header checksum) and
+//! the simulated NIC validates them on receive. The iCRC additionally
+//! treats the TOS, TTL and header-checksum fields as *variant*, which is
+//! why [`Packet::header_bytes`] exposes the raw header for masking.
+
+use crate::field::Field;
+use crate::{Error, Result};
+
+/// An IPv4 address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Address(pub [u8; 4]);
+
+impl Address {
+    /// The unspecified address `0.0.0.0`.
+    pub const UNSPECIFIED: Address = Address([0; 4]);
+
+    /// Construct from four octets.
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Address {
+        Address([a, b, c, d])
+    }
+
+    /// Construct from a byte slice.
+    ///
+    /// # Panics
+    /// Panics if `data` is shorter than four bytes.
+    pub fn from_bytes(data: &[u8]) -> Address {
+        let mut bytes = [0u8; 4];
+        bytes.copy_from_slice(&data[..4]);
+        Address(bytes)
+    }
+
+    /// The address as a host-order `u32`.
+    pub fn to_u32(&self) -> u32 {
+        u32::from_be_bytes(self.0)
+    }
+
+    /// Build an address from a host-order `u32`.
+    pub fn from_u32(raw: u32) -> Address {
+        Address(raw.to_be_bytes())
+    }
+}
+
+impl core::fmt::Display for Address {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}.{}.{}.{}", self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+/// IP protocol numbers used by DART traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP (6).
+    Tcp,
+    /// UDP (17) — carries RoCEv2.
+    Udp,
+    /// Any other protocol number.
+    Unknown(u8),
+}
+
+impl From<u8> for Protocol {
+    fn from(raw: u8) -> Self {
+        match raw {
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Unknown(other),
+        }
+    }
+}
+
+impl From<Protocol> for u8 {
+    fn from(value: Protocol) -> u8 {
+        match value {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Unknown(other) => other,
+        }
+    }
+}
+
+mod fields {
+    use super::Field;
+    pub const VER_IHL: usize = 0;
+    pub const TOS: usize = 1;
+    pub const LENGTH: Field = 2..4;
+    pub const IDENT: Field = 4..6;
+    pub const FLAGS_FRAG: Field = 6..8;
+    pub const TTL: usize = 8;
+    pub const PROTOCOL: usize = 9;
+    pub const CHECKSUM: Field = 10..12;
+    pub const SRC_ADDR: Field = 12..16;
+    pub const DST_ADDR: Field = 16..20;
+}
+
+/// Length of an IPv4 header without options.
+pub const HEADER_LEN: usize = 20;
+
+/// Compute the ones-complement Internet checksum of `data`.
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut chunks = data.chunks_exact(2);
+    for chunk in &mut chunks {
+        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = chunks.remainder() {
+        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// A read/write view of an IPv4 packet (no options supported).
+#[derive(Debug, Clone)]
+pub struct Packet<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Packet<T> {
+    /// Wrap a buffer without checking it.
+    pub fn new_unchecked(buffer: T) -> Packet<T> {
+        Packet { buffer }
+    }
+
+    /// Wrap a buffer and validate version, header length and total length.
+    pub fn new_checked(buffer: T) -> Result<Packet<T>> {
+        let packet = Self::new_unchecked(buffer);
+        packet.check_len()?;
+        Ok(packet)
+    }
+
+    /// Validate version, header length and total length.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        if data[fields::VER_IHL] >> 4 != 4 {
+            return Err(Error::Malformed);
+        }
+        let ihl = usize::from(data[fields::VER_IHL] & 0x0F) * 4;
+        if ihl != HEADER_LEN {
+            // Options are not used by DART traffic; reject like the Tofino
+            // parser would.
+            return Err(Error::Malformed);
+        }
+        let total = usize::from(self.total_len());
+        if total < HEADER_LEN || data.len() < total {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Unwrap the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Type-of-service byte (DSCP + ECN).
+    pub fn tos(&self) -> u8 {
+        self.buffer.as_ref()[fields::TOS]
+    }
+
+    /// Total packet length from the header.
+    pub fn total_len(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::LENGTH];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Identification field.
+    pub fn ident(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::IDENT];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Time-to-live.
+    pub fn ttl(&self) -> u8 {
+        self.buffer.as_ref()[fields::TTL]
+    }
+
+    /// Protocol of the payload.
+    pub fn protocol(&self) -> Protocol {
+        Protocol::from(self.buffer.as_ref()[fields::PROTOCOL])
+    }
+
+    /// Header checksum field.
+    pub fn checksum(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::CHECKSUM];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Source address.
+    pub fn src_addr(&self) -> Address {
+        Address::from_bytes(&self.buffer.as_ref()[fields::SRC_ADDR])
+    }
+
+    /// Destination address.
+    pub fn dst_addr(&self) -> Address {
+        Address::from_bytes(&self.buffer.as_ref()[fields::DST_ADDR])
+    }
+
+    /// Whether the header checksum validates.
+    pub fn verify_checksum(&self) -> bool {
+        internet_checksum(&self.buffer.as_ref()[..HEADER_LEN]) == 0
+    }
+
+    /// The raw 20-byte header (for iCRC masking).
+    pub fn header_bytes(&self) -> &[u8] {
+        &self.buffer.as_ref()[..HEADER_LEN]
+    }
+
+    /// Payload as bounded by `total_len`.
+    pub fn payload(&self) -> &[u8] {
+        let total = usize::from(self.total_len());
+        &self.buffer.as_ref()[HEADER_LEN..total]
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Packet<T> {
+    /// Set version 4 and a 20-byte header length.
+    pub fn set_version_ihl(&mut self) {
+        self.buffer.as_mut()[fields::VER_IHL] = 0x45;
+    }
+
+    /// Set the type-of-service byte.
+    pub fn set_tos(&mut self, tos: u8) {
+        self.buffer.as_mut()[fields::TOS] = tos;
+    }
+
+    /// Set the total length.
+    pub fn set_total_len(&mut self, len: u16) {
+        self.buffer.as_mut()[fields::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the identification field.
+    pub fn set_ident(&mut self, ident: u16) {
+        self.buffer.as_mut()[fields::IDENT].copy_from_slice(&ident.to_be_bytes());
+    }
+
+    /// Clear flags and fragment offset (DART reports are never fragmented).
+    pub fn set_unfragmented(&mut self) {
+        // Set the Don't Fragment bit, offset zero.
+        self.buffer.as_mut()[fields::FLAGS_FRAG].copy_from_slice(&0x4000u16.to_be_bytes());
+    }
+
+    /// Set the TTL.
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.buffer.as_mut()[fields::TTL] = ttl;
+    }
+
+    /// Set the payload protocol.
+    pub fn set_protocol(&mut self, protocol: Protocol) {
+        self.buffer.as_mut()[fields::PROTOCOL] = protocol.into();
+    }
+
+    /// Set the checksum field to an explicit value.
+    pub fn set_checksum(&mut self, value: u16) {
+        self.buffer.as_mut()[fields::CHECKSUM].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Set the source address.
+    pub fn set_src_addr(&mut self, addr: Address) {
+        self.buffer.as_mut()[fields::SRC_ADDR].copy_from_slice(&addr.0);
+    }
+
+    /// Set the destination address.
+    pub fn set_dst_addr(&mut self, addr: Address) {
+        self.buffer.as_mut()[fields::DST_ADDR].copy_from_slice(&addr.0);
+    }
+
+    /// Recompute and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.set_checksum(0);
+        let sum = internet_checksum(&self.buffer.as_ref()[..HEADER_LEN]);
+        self.set_checksum(sum);
+    }
+
+    /// Mutable payload as bounded by `total_len`.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let total = usize::from(self.total_len());
+        &mut self.buffer.as_mut()[HEADER_LEN..total]
+    }
+}
+
+/// Owned representation of an IPv4 header (no options).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source address.
+    pub src_addr: Address,
+    /// Destination address.
+    pub dst_addr: Address,
+    /// Payload protocol.
+    pub protocol: Protocol,
+    /// Payload length in bytes (excluding the IPv4 header).
+    pub payload_len: usize,
+    /// Time-to-live.
+    pub ttl: u8,
+    /// DSCP/ECN byte.
+    pub tos: u8,
+}
+
+impl Repr {
+    /// Parse a packet view, verifying the header checksum.
+    pub fn parse<T: AsRef<[u8]>>(packet: &Packet<T>) -> Result<Repr> {
+        packet.check_len()?;
+        if !packet.verify_checksum() {
+            return Err(Error::Checksum);
+        }
+        Ok(Repr {
+            src_addr: packet.src_addr(),
+            dst_addr: packet.dst_addr(),
+            protocol: packet.protocol(),
+            payload_len: usize::from(packet.total_len()) - HEADER_LEN,
+            ttl: packet.ttl(),
+            tos: packet.tos(),
+        })
+    }
+
+    /// Length of the emitted header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit the header (including a freshly computed checksum).
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, packet: &mut Packet<T>) {
+        packet.set_version_ihl();
+        packet.set_tos(self.tos);
+        packet.set_total_len((HEADER_LEN + self.payload_len) as u16);
+        packet.set_ident(0);
+        packet.set_unfragmented();
+        packet.set_ttl(self.ttl);
+        packet.set_protocol(self.protocol);
+        packet.set_src_addr(self.src_addr);
+        packet.set_dst_addr(self.dst_addr);
+        packet.fill_checksum();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repr() -> Repr {
+        Repr {
+            src_addr: Address::new(10, 0, 0, 1),
+            dst_addr: Address::new(10, 0, 0, 2),
+            protocol: Protocol::Udp,
+            payload_len: 8,
+            ttl: 64,
+            tos: 0,
+        }
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let repr = repr();
+        let mut bytes = vec![0u8; HEADER_LEN + repr.payload_len];
+        let mut packet = Packet::new_unchecked(&mut bytes[..]);
+        repr.emit(&mut packet);
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert!(packet.verify_checksum());
+        assert_eq!(Repr::parse(&packet).unwrap(), repr);
+    }
+
+    #[test]
+    fn checksum_detects_corruption() {
+        let repr = repr();
+        let mut bytes = vec![0u8; HEADER_LEN + repr.payload_len];
+        repr.emit(&mut Packet::new_unchecked(&mut bytes[..]));
+        bytes[12] ^= 0x40; // corrupt source address
+        let packet = Packet::new_checked(&bytes[..]).unwrap();
+        assert!(!packet.verify_checksum());
+        assert_eq!(Repr::parse(&packet), Err(Error::Checksum));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let repr = repr();
+        let mut bytes = vec![0u8; HEADER_LEN + repr.payload_len];
+        repr.emit(&mut Packet::new_unchecked(&mut bytes[..]));
+        bytes[0] = 0x65; // version 6
+        assert_eq!(
+            Packet::new_checked(&bytes[..]).err(),
+            Some(Error::Malformed)
+        );
+    }
+
+    #[test]
+    fn rejects_options() {
+        let repr = repr();
+        let mut bytes = vec![0u8; HEADER_LEN + repr.payload_len];
+        repr.emit(&mut Packet::new_unchecked(&mut bytes[..]));
+        bytes[0] = 0x46; // ihl = 24
+        assert_eq!(
+            Packet::new_checked(&bytes[..]).err(),
+            Some(Error::Malformed)
+        );
+    }
+
+    #[test]
+    fn rejects_short_buffer() {
+        assert_eq!(
+            Packet::new_checked(&[0u8; 10][..]).err(),
+            Some(Error::Truncated)
+        );
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let repr = repr();
+        let mut bytes = vec![0u8; HEADER_LEN + repr.payload_len];
+        repr.emit(&mut Packet::new_unchecked(&mut bytes[..]));
+        // Claim a longer payload than the buffer holds.
+        Packet::new_unchecked(&mut bytes[..]).set_total_len(64);
+        assert_eq!(
+            Packet::new_checked(&bytes[..]).err(),
+            Some(Error::Truncated)
+        );
+    }
+
+    #[test]
+    fn internet_checksum_known_vector() {
+        // Example from RFC 1071 computations.
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        let sum = internet_checksum(&data);
+        // Verify by summing back: data + checksum must fold to 0xFFFF.
+        let mut all = data.to_vec();
+        all.extend_from_slice(&sum.to_be_bytes());
+        assert_eq!(internet_checksum(&all), 0);
+    }
+
+    #[test]
+    fn odd_length_checksum() {
+        let data = [0xFFu8, 0x00, 0xAB];
+        let sum = internet_checksum(&data);
+        let mut all = data.to_vec();
+        all.push(0); // pad
+        all.extend_from_slice(&sum.to_be_bytes());
+        assert_eq!(internet_checksum(&all), 0);
+    }
+
+    #[test]
+    fn address_helpers() {
+        let a = Address::new(192, 168, 1, 44);
+        assert_eq!(a.to_string(), "192.168.1.44");
+        assert_eq!(Address::from_u32(a.to_u32()), a);
+    }
+}

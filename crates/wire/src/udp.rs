@@ -1,0 +1,275 @@
+//! UDP datagrams.
+//!
+//! RoCEv2 is carried in UDP destination port 4791. The UDP checksum is a
+//! *variant* field for the RoCEv2 iCRC (masked to ones), and real RoCEv2
+//! senders commonly set it to zero; both behaviours are supported here.
+
+use crate::field::Field;
+use crate::ipv4;
+use crate::{Error, Result};
+
+/// The IANA-assigned UDP destination port for RoCEv2.
+pub const ROCEV2_PORT: u16 = 4791;
+
+mod fields {
+    use super::Field;
+    pub const SRC_PORT: Field = 0..2;
+    pub const DST_PORT: Field = 2..4;
+    pub const LENGTH: Field = 4..6;
+    pub const CHECKSUM: Field = 6..8;
+    pub const PAYLOAD: usize = 8;
+}
+
+/// Length of the UDP header.
+pub const HEADER_LEN: usize = fields::PAYLOAD;
+
+/// A read/write view of a UDP datagram.
+#[derive(Debug, Clone)]
+pub struct Datagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> Datagram<T> {
+    /// Wrap a buffer without checking it.
+    pub fn new_unchecked(buffer: T) -> Datagram<T> {
+        Datagram { buffer }
+    }
+
+    /// Wrap a buffer, validating header and declared length.
+    pub fn new_checked(buffer: T) -> Result<Datagram<T>> {
+        let datagram = Self::new_unchecked(buffer);
+        datagram.check_len()?;
+        Ok(datagram)
+    }
+
+    /// Validate header and declared length.
+    pub fn check_len(&self) -> Result<()> {
+        let data = self.buffer.as_ref();
+        if data.len() < HEADER_LEN {
+            return Err(Error::Truncated);
+        }
+        let len = usize::from(self.len());
+        if len < HEADER_LEN || data.len() < len {
+            return Err(Error::Truncated);
+        }
+        Ok(())
+    }
+
+    /// Unwrap the underlying buffer.
+    pub fn into_inner(self) -> T {
+        self.buffer
+    }
+
+    /// Source port.
+    pub fn src_port(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::SRC_PORT];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Destination port.
+    pub fn dst_port(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::DST_PORT];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Datagram length (header + payload) from the header.
+    pub fn len(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::LENGTH];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Whether the declared length covers only the header.
+    pub fn is_empty(&self) -> bool {
+        usize::from(self.len()) <= HEADER_LEN
+    }
+
+    /// Checksum field.
+    pub fn checksum(&self) -> u16 {
+        let raw = &self.buffer.as_ref()[fields::CHECKSUM];
+        u16::from_be_bytes([raw[0], raw[1]])
+    }
+
+    /// Payload as bounded by the declared length.
+    pub fn payload(&self) -> &[u8] {
+        let len = usize::from(self.len());
+        &self.buffer.as_ref()[HEADER_LEN..len]
+    }
+
+    /// Verify the checksum with the IPv4 pseudo-header.
+    ///
+    /// A zero checksum means "not computed" and always verifies, as per
+    /// RFC 768 (and common RoCEv2 practice).
+    pub fn verify_checksum(&self, src: ipv4::Address, dst: ipv4::Address) -> bool {
+        if self.checksum() == 0 {
+            return true;
+        }
+        pseudo_header_checksum(src, dst, &self.buffer.as_ref()[..usize::from(self.len())]) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Datagram<T> {
+    /// Set the source port.
+    pub fn set_src_port(&mut self, port: u16) {
+        self.buffer.as_mut()[fields::SRC_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the destination port.
+    pub fn set_dst_port(&mut self, port: u16) {
+        self.buffer.as_mut()[fields::DST_PORT].copy_from_slice(&port.to_be_bytes());
+    }
+
+    /// Set the datagram length.
+    pub fn set_len(&mut self, len: u16) {
+        self.buffer.as_mut()[fields::LENGTH].copy_from_slice(&len.to_be_bytes());
+    }
+
+    /// Set the checksum field to an explicit value.
+    pub fn set_checksum(&mut self, value: u16) {
+        self.buffer.as_mut()[fields::CHECKSUM].copy_from_slice(&value.to_be_bytes());
+    }
+
+    /// Mutable payload as bounded by the declared length.
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let len = usize::from(self.len());
+        &mut self.buffer.as_mut()[HEADER_LEN..len]
+    }
+
+    /// Compute and store the checksum using the IPv4 pseudo-header.
+    pub fn fill_checksum(&mut self, src: ipv4::Address, dst: ipv4::Address) {
+        self.set_checksum(0);
+        let len = usize::from(self.len());
+        let mut sum = pseudo_header_checksum(src, dst, &self.buffer.as_ref()[..len]);
+        // An all-zero computed checksum is transmitted as all-ones.
+        if sum == 0 {
+            sum = 0xFFFF;
+        }
+        self.set_checksum(sum);
+    }
+}
+
+fn pseudo_header_checksum(src: ipv4::Address, dst: ipv4::Address, datagram: &[u8]) -> u16 {
+    let mut pseudo = Vec::with_capacity(12 + datagram.len());
+    pseudo.extend_from_slice(&src.0);
+    pseudo.extend_from_slice(&dst.0);
+    pseudo.push(0);
+    pseudo.push(17); // UDP protocol number
+    pseudo.extend_from_slice(&(datagram.len() as u16).to_be_bytes());
+    pseudo.extend_from_slice(datagram);
+    ipv4::internet_checksum(&pseudo)
+}
+
+/// Owned representation of a UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repr {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Payload length in bytes (excluding the UDP header).
+    pub payload_len: usize,
+}
+
+impl Repr {
+    /// Parse a datagram view.
+    pub fn parse<T: AsRef<[u8]>>(datagram: &Datagram<T>) -> Result<Repr> {
+        datagram.check_len()?;
+        Ok(Repr {
+            src_port: datagram.src_port(),
+            dst_port: datagram.dst_port(),
+            payload_len: usize::from(datagram.len()) - HEADER_LEN,
+        })
+    }
+
+    /// Length of the emitted header.
+    pub const fn buffer_len(&self) -> usize {
+        HEADER_LEN
+    }
+
+    /// Emit the header. The checksum is left at zero ("not computed"),
+    /// matching common RoCEv2 behaviour; call
+    /// [`Datagram::fill_checksum`] to add one.
+    pub fn emit<T: AsRef<[u8]> + AsMut<[u8]>>(&self, datagram: &mut Datagram<T>) {
+        datagram.set_src_port(self.src_port);
+        datagram.set_dst_port(self.dst_port);
+        datagram.set_len((HEADER_LEN + self.payload_len) as u16);
+        datagram.set_checksum(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: ipv4::Address = ipv4::Address([10, 0, 0, 1]);
+    const DST: ipv4::Address = ipv4::Address([10, 0, 0, 2]);
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let repr = Repr {
+            src_port: 49152,
+            dst_port: ROCEV2_PORT,
+            payload_len: payload.len(),
+        };
+        let mut bytes = vec![0u8; HEADER_LEN + payload.len()];
+        let mut dgram = Datagram::new_unchecked(&mut bytes[..]);
+        repr.emit(&mut dgram);
+        dgram.payload_mut().copy_from_slice(payload);
+        bytes
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let bytes = build(b"dart");
+        let dgram = Datagram::new_checked(&bytes[..]).unwrap();
+        assert_eq!(dgram.src_port(), 49152);
+        assert_eq!(dgram.dst_port(), ROCEV2_PORT);
+        assert_eq!(dgram.payload(), b"dart");
+        let repr = Repr::parse(&dgram).unwrap();
+        assert_eq!(repr.payload_len, 4);
+    }
+
+    #[test]
+    fn zero_checksum_always_verifies() {
+        let bytes = build(b"dart");
+        let dgram = Datagram::new_checked(&bytes[..]).unwrap();
+        assert_eq!(dgram.checksum(), 0);
+        assert!(dgram.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn filled_checksum_verifies_and_detects_corruption() {
+        let mut bytes = build(b"dart report");
+        let mut dgram = Datagram::new_unchecked(&mut bytes[..]);
+        dgram.fill_checksum(SRC, DST);
+        let dgram = Datagram::new_checked(&bytes[..]).unwrap();
+        assert_ne!(dgram.checksum(), 0);
+        assert!(dgram.verify_checksum(SRC, DST));
+
+        let mut corrupt = bytes.clone();
+        corrupt[HEADER_LEN] ^= 0x01;
+        let dgram = Datagram::new_checked(&corrupt[..]).unwrap();
+        assert!(!dgram.verify_checksum(SRC, DST));
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        assert_eq!(
+            Datagram::new_checked(&[0u8; 4][..]).err(),
+            Some(Error::Truncated)
+        );
+        let mut bytes = build(b"dart");
+        // Claim a longer payload than present.
+        Datagram::new_unchecked(&mut bytes[..]).set_len(64);
+        assert_eq!(
+            Datagram::new_checked(&bytes[..]).err(),
+            Some(Error::Truncated)
+        );
+    }
+
+    #[test]
+    fn empty_payload() {
+        let bytes = build(b"");
+        let dgram = Datagram::new_checked(&bytes[..]).unwrap();
+        assert!(dgram.is_empty());
+        assert_eq!(dgram.payload(), b"");
+    }
+}

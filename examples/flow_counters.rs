@@ -1,0 +1,122 @@
+//! §7 extension: flow counters maintained *in collector memory* with
+//! RDMA FETCH_ADD — no counter state on the switch at all.
+//!
+//! ```sh
+//! cargo run --release --example flow_counters
+//! ```
+//!
+//! "Fetch & Add can be used to implement flow-counters directly in
+//! collectors' memory (saving resources at switches)". Each packet of a
+//! flow triggers one FETCH_ADD onto the flow's counter word; the
+//! collector NIC executes the atomics and ACKs (RC transport), and the
+//! operator reads totals straight out of the counter region.
+
+use direct_telemetry_access::core::hash::{AddressMapping, Mix64Mapping};
+use direct_telemetry_access::rdma::mr::AccessFlags;
+use direct_telemetry_access::rdma::nic::{build_roce_frame, RxAction};
+use direct_telemetry_access::rdma::verbs::Device;
+use direct_telemetry_access::wire::roce::{AtomicEthRepr, BthRepr, Opcode, Psn, RoceRepr};
+use direct_telemetry_access::wire::{ethernet, ipv4};
+
+const COUNTERS: u64 = 1 << 12; // 4096 64-bit counters
+const BASE_VA: u64 = 0x9000_0000;
+
+fn main() {
+    // Collector: one counter region + one RC QP per reporting switch.
+    let mut device = Device::open(
+        ethernet::Address([0x02, 0xC0, 0, 0, 0, 1]),
+        ipv4::Address([10, 200, 0, 1]),
+    );
+    let (rkey, handle) = device
+        .register_region(
+            BASE_VA,
+            (COUNTERS * 8) as usize,
+            AccessFlags::DART_COLLECTOR,
+        )
+        .unwrap();
+    let qpn = device.create_rc_qp(Psn::new(0), 0x77).unwrap();
+
+    // Switch side: stateless mapping from flow key to counter word.
+    let mapping = Mix64Mapping::new(0xC0DE);
+    let counter_va = |key: &[u8]| BASE_VA + mapping.slot(key, 0, COUNTERS) * 8;
+
+    let sw_mac = ethernet::Address([0x02, 0xDA, 0, 0, 0, 9]);
+    let sw_ip = ipv4::Address([10, 128, 0, 9]);
+
+    // Traffic: three flows with different packet counts and byte sizes.
+    let traffic: &[(&[u8], u64, u64)] = &[
+        (b"flow:alpha", 1000, 1500),
+        (b"flow:beta", 250, 64),
+        (b"flow:gamma", 1, 9000),
+    ];
+
+    let mut psn = 0u32;
+    let mut acks = 0u64;
+    for &(key, packets, bytes) in traffic {
+        for _ in 0..packets {
+            // One FETCH_ADD per packet: add the packet's byte count.
+            let packet = RoceRepr::FetchAdd {
+                bth: BthRepr {
+                    opcode: Opcode::RcFetchAdd,
+                    solicited: false,
+                    migration: true,
+                    pad_count: 0,
+                    partition_key: 0xFFFF,
+                    dest_qp: qpn,
+                    ack_request: true,
+                    psn,
+                },
+                atomic: AtomicEthRepr {
+                    virtual_addr: counter_va(key),
+                    rkey,
+                    swap_or_add: bytes,
+                    compare: 0,
+                },
+            };
+            psn += 1;
+            let frame = build_roce_frame(
+                sw_mac,
+                device.nic().mac(),
+                sw_ip,
+                device.nic().ip(),
+                49152,
+                &packet,
+            );
+            let outcome = device.nic_mut().handle_frame(&frame);
+            match outcome.action {
+                RxAction::AtomicExecuted { .. } => {}
+                other => panic!("atomic rejected: {other:?}"),
+            }
+            if outcome.response.is_some() {
+                acks += 1;
+            }
+        }
+    }
+    println!(
+        "executed {} FETCH_ADDs ({} ACKed) — zero counter state on the switch",
+        psn, acks
+    );
+
+    // Operator: read the totals straight out of collector memory.
+    println!("\nper-flow byte counters (read from the counter region):");
+    for &(key, packets, bytes) in traffic {
+        let offset = (counter_va(key) - BASE_VA) as usize;
+        let total =
+            handle.with(|mem| u64::from_be_bytes(mem[offset..offset + 8].try_into().unwrap()));
+        println!(
+            "  {:<12} {:>10} B (expected {:>10})",
+            String::from_utf8_lossy(key),
+            total,
+            packets * bytes
+        );
+        assert_eq!(total, packets * bytes);
+    }
+
+    let counters = device.nic().counters();
+    println!(
+        "\nNIC: {} fetch_adds, {} responses, {} drops",
+        counters.fetch_adds,
+        counters.responses,
+        counters.dropped()
+    );
+}

@@ -1,0 +1,84 @@
+//! Epoch-based historical storage (§5.2.1): troubleshooting yesterday's
+//! outage from archived telemetry.
+//!
+//! ```sh
+//! cargo run --release --example historical_epochs
+//! ```
+//!
+//! DRAM absorbs line-rate RDMA writes but is finite; history lives in
+//! epochs. This example rotates the active region every "minute",
+//! keeps two sealed epochs hot in DRAM, archives older ones to the slow
+//! persistent tier, and then answers a historical query about a flow
+//! that misbehaved three epochs ago.
+
+use direct_telemetry_access::core::config::DartConfig;
+use direct_telemetry_access::core::epoch::EpochStore;
+use direct_telemetry_access::core::query::QueryOutcome;
+
+fn value(tag: u8) -> Vec<u8> {
+    let mut v = vec![tag; 20];
+    v[0] = 0xEE;
+    v
+}
+
+fn main() {
+    let config = DartConfig::builder()
+        .slots(1 << 12)
+        .copies(2)
+        .build()
+        .unwrap();
+    // Keep at most 2 sealed epochs in DRAM; older ones go to the
+    // simulated persistent tier.
+    let mut store = EpochStore::new(config, 2).unwrap();
+
+    // Epoch 0: the outage happens — flow X loops through switch 17.
+    store.insert(b"flow:X", &value(17)).unwrap();
+    store.insert(b"flow:Y", &value(3)).unwrap();
+    println!("epoch {}: outage telemetry written", store.active_epoch());
+    store.rotate();
+
+    // Epochs 1..3: life goes on, the same keys get new values.
+    for epoch in 1..=3u8 {
+        store.insert(b"flow:X", &value(40 + epoch)).unwrap();
+        store.insert(b"flow:Y", &value(50 + epoch)).unwrap();
+        println!("epoch {}: fresh telemetry written", store.active_epoch());
+        store.rotate();
+    }
+
+    println!(
+        "\nDRAM ring holds epochs {:?}; persistent tier holds {:?}",
+        store.dram_epochs(),
+        store.archived_epochs()
+    );
+
+    // Live query: what is flow X doing right now? (Nothing this epoch.)
+    match store.query_current(b"flow:X") {
+        QueryOutcome::Empty => println!("current epoch: flow X quiet"),
+        QueryOutcome::Answer(_) => println!("current epoch: flow X active"),
+    }
+
+    // Historical query: what did flow X do during the outage (epoch 0)?
+    match store.query_epoch(0, b"flow:X").unwrap() {
+        QueryOutcome::Answer(v) => println!(
+            "epoch 0 (from the slow tier): flow X value tagged {} — the loop through switch 17",
+            v[1]
+        ),
+        QueryOutcome::Empty => panic!("outage telemetry must be archived"),
+    }
+
+    // And the epoch right before the present, still hot in DRAM.
+    match store.query_epoch(3, b"flow:Y").unwrap() {
+        QueryOutcome::Answer(v) => println!("epoch 3 (DRAM): flow Y value tagged {}", v[1]),
+        QueryOutcome::Empty => panic!("epoch 3 is still in DRAM"),
+    }
+
+    let stats = store.stats();
+    println!(
+        "\nstorage hierarchy: {} sealed, {} archived; queries — {} active, {} DRAM, {} persistent",
+        stats.sealed,
+        stats.archived,
+        stats.active_queries,
+        stats.dram_queries,
+        stats.persistent_queries
+    );
+}

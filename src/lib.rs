@@ -1,0 +1,32 @@
+//! # Direct Telemetry Access (DART)
+//!
+//! A full Rust implementation of *"Zero-CPU Collection with Direct
+//! Telemetry Access"* (HotNets 2021): programmable switches write
+//! telemetry reports straight into collector memory over (simulated)
+//! RDMA, bypassing the collector CPU entirely.
+//!
+//! This façade crate re-exports the workspace's public API:
+//!
+//! * [`wire`] — RoCEv2 / IPv4 / UDP / INT / DART wire formats.
+//! * [`rdma`] — simulated RDMA NICs, queue pairs and memory regions.
+//! * [`switch`] — a P4-style match-action pipeline modelling the Tofino
+//!   prototype that crafts DART reports.
+//! * [`core`] — the DART key-value store, hashing, write and query paths.
+//! * [`analysis`] — closed-form success/error probabilities from §4.
+//! * [`telemetry`] — the Table 1 measurement backends (INT, postcards,
+//!   anomalies, failures, query mirroring).
+//! * [`topology`] — fat-tree topologies, ECMP routing, flow workloads and
+//!   the end-to-end simulator.
+//! * [`collector`] — DART collectors plus the CPU-bound baselines
+//!   (socket/Kafka-like, DPDK/Confluo-like) used by Figure 1.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use dta_analysis as analysis;
+pub use dta_collector as collector;
+pub use dta_core as core;
+pub use dta_rdma as rdma;
+pub use dta_switch as switch;
+pub use dta_telemetry as telemetry;
+pub use dta_topology as topology;
+pub use dta_wire as wire;

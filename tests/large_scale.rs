@@ -1,0 +1,48 @@
+//! Million-key runs — the closest a laptop gets to the paper's 100 M
+//! flows. Ignored by default (`cargo test -- --ignored` runs them);
+//! `tests/scale_invariance.rs` demonstrates why smaller runs suffice.
+
+use dta_bench::fig4::run_curve;
+use dta_bench::storesim::{run, StoreSimParams};
+
+#[test]
+#[ignore = "runs a 1M-key simulation (~10s release, minutes in debug)"]
+fn million_flow_figure4_checkpoints() {
+    let keys = 1_000_000u64;
+    let c30 = run_curve(keys, 30, 2, 10, 0xB16);
+    assert!(
+        (c30.average - 0.714).abs() < 0.02,
+        "avg at 30 B/flow: {}",
+        c30.average
+    );
+    assert!(
+        (c30.age_buckets[0] - 0.40).abs() < 0.03,
+        "oldest decile: {}",
+        c30.age_buckets[0]
+    );
+
+    let c300n4 = run_curve(keys, 300, 4, 10, 0xB17);
+    assert!(
+        c300n4.average > 0.9985,
+        "99.9% checkpoint: {}",
+        c300n4.average
+    );
+}
+
+#[test]
+#[ignore = "runs a 4M-insert simulation"]
+fn million_key_error_freedom_at_32_bits() {
+    // §5.3 at the largest size we can simulate: still zero return errors
+    // with 32-bit checksums.
+    let result = run(
+        StoreSimParams {
+            slots: 1 << 20,
+            keys: 2 << 20,
+            copies: 2,
+            ..StoreSimParams::default()
+        },
+        1,
+    );
+    assert_eq!(result.error, 0);
+    assert!(result.total() == 2 << 20);
+}

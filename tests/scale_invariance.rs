@@ -1,0 +1,73 @@
+//! The scaling rule of DESIGN.md: every §4/§5 probability depends only
+//! on (α, N, b), not on absolute store size — which is what justifies
+//! reproducing the paper's 100 M-flow results at 10⁵–10⁶ keys.
+
+use dta_bench::storesim::{run, StoreSimParams};
+
+#[test]
+fn success_rate_invariant_across_store_sizes() {
+    let alpha = 1.0f64;
+    let mut rates = Vec::new();
+    for shift in [12u32, 14, 16, 18] {
+        let slots = 1u64 << shift;
+        let keys = (alpha * slots as f64) as u64;
+        let sim = run(
+            StoreSimParams {
+                slots,
+                keys,
+                copies: 2,
+                seed: 0x5CA1E ^ u64::from(shift),
+                ..StoreSimParams::default()
+            },
+            1,
+        );
+        rates.push(sim.success_rate());
+    }
+    let theory = dta_analysis::average_query_success(alpha, 2);
+    for (i, rate) in rates.iter().enumerate() {
+        assert!(
+            (rate - theory).abs() < 0.03,
+            "size index {i}: rate {rate} vs theory {theory}"
+        );
+    }
+    // Larger stores converge: the two largest must agree tightly.
+    assert!(
+        (rates[2] - rates[3]).abs() < 0.01,
+        "2^16 vs 2^18: {} vs {}",
+        rates[2],
+        rates[3]
+    );
+}
+
+#[test]
+fn byte_budget_rule_matches_paper_accounting() {
+    // "30 B/flow" at 24-byte slots means M = K·30/24, α = 0.8 — for any K.
+    for keys in [50_000u64, 200_000] {
+        let slots = keys * 30 / 24;
+        let alpha = keys as f64 / slots as f64;
+        assert!((alpha - 0.8).abs() < 1e-9);
+        let sim = run(
+            StoreSimParams {
+                slots,
+                keys,
+                copies: 2,
+                seed: keys,
+                ..StoreSimParams::default()
+            },
+            10,
+        );
+        // Oldest decile ≈ paper's "steep decline to 39.0%" (theory 38.7%
+        // at full age; decile midpoint is slightly younger).
+        let oldest = sim.age_buckets[0];
+        assert!(
+            (0.34..0.47).contains(&oldest),
+            "keys {keys}: oldest decile {oldest}"
+        );
+        // Average ≈ 71.4%.
+        assert!(
+            (sim.success_rate() - 0.71).abs() < 0.03,
+            "keys {keys}: avg {}",
+            sim.success_rate()
+        );
+    }
+}

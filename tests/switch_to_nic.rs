@@ -1,0 +1,157 @@
+//! §6 feasibility cross-checks: the switch pipeline's frames are
+//! hardware-valid and bit-exact with the collector side.
+
+use direct_telemetry_access::collector::DartCollector;
+use direct_telemetry_access::core::config::DartConfig;
+use direct_telemetry_access::core::hash::{AddressMapping, CrcMapping, MappingKind};
+use direct_telemetry_access::core::query::QueryOutcome;
+use direct_telemetry_access::rdma::nic::{DropReason, RxAction};
+use direct_telemetry_access::switch::control_plane::ControlPlane;
+use direct_telemetry_access::switch::egress::{DartEgress, EgressConfig};
+use direct_telemetry_access::switch::SwitchIdentity;
+use direct_telemetry_access::wire::dart::{ChecksumWidth, SlotLayout};
+use direct_telemetry_access::wire::{ethernet, ipv4, roce, udp};
+
+const SLOTS: u64 = 1 << 12;
+
+fn setup() -> (DartEgress, DartCollector) {
+    let config = DartConfig::builder()
+        .slots(SLOTS)
+        .copies(2)
+        .mapping(MappingKind::Crc)
+        .build()
+        .unwrap();
+    let collector = DartCollector::new(0, config).unwrap();
+    let mut egress = DartEgress::new(
+        SwitchIdentity::derived(7),
+        EgressConfig {
+            copies: 2,
+            slots: SLOTS,
+            layout: SlotLayout {
+                checksum: ChecksumWidth::B32,
+                value_len: 20,
+            },
+            collectors: 1,
+            udp_src_port: 49152,
+        },
+        0xBEE,
+    )
+    .unwrap();
+    ControlPlane::new()
+        .install_directory(&mut egress, &[collector.endpoint()])
+        .unwrap();
+    (egress, collector)
+}
+
+#[test]
+fn crafted_frames_parse_as_valid_roce() {
+    let (mut egress, _) = setup();
+    let report = egress.craft_report_copy(b"key-1", &[5u8; 20], 0).unwrap();
+
+    let eth = ethernet::Frame::new_checked(&report.frame[..]).unwrap();
+    assert_eq!(eth.ethertype(), ethernet::EtherType::Ipv4);
+    let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+    assert!(ip.verify_checksum(), "IPv4 checksum must be valid");
+    let dgram = udp::Datagram::new_checked(ip.payload()).unwrap();
+    assert_eq!(dgram.dst_port(), udp::ROCEV2_PORT);
+
+    // iCRC validates, and the transport packet parses as a UC WRITE.
+    let udp_bytes = ip.payload();
+    roce::icrc::verify(
+        ip.header_bytes(),
+        &udp_bytes[..udp::HEADER_LEN],
+        dgram.payload(),
+    )
+    .expect("switch-computed iCRC must verify");
+    let body = &dgram.payload()[..dgram.payload().len() - roce::ICRC_LEN];
+    match roce::RoceRepr::parse(body).unwrap() {
+        roce::RoceRepr::Write { bth, reth, payload } => {
+            assert_eq!(bth.opcode, roce::Opcode::UcRdmaWriteOnly);
+            assert_eq!(payload.len(), 24);
+            assert_eq!(reth.dma_len, 24);
+        }
+        other => panic!("expected WRITE, got {other:?}"),
+    }
+}
+
+#[test]
+fn switch_writes_exactly_where_the_query_engine_looks() {
+    let (mut egress, mut collector) = setup();
+    let mapping = CrcMapping::new();
+    let key = b"int-path:flow-42";
+    let value = [0x33u8; 20];
+
+    for copy in 0..2u8 {
+        let report = egress.craft_report_copy(key, &value, copy).unwrap();
+        // The slot the switch computed must match dta-core's mapping.
+        assert_eq!(report.slot, mapping.slot(key, copy, SLOTS));
+        let outcome = collector.receive_frame(&report.frame);
+        assert!(matches!(outcome.action, RxAction::WriteExecuted { .. }));
+    }
+    assert_eq!(collector.query(key), QueryOutcome::Answer(value.to_vec()));
+}
+
+#[test]
+fn ttl_decrement_en_route_does_not_break_icrc() {
+    // The iCRC masks variant fields; a router decrementing TTL (and
+    // fixing the IP checksum) must not invalidate the frame.
+    let (mut egress, mut collector) = setup();
+    let report = egress.craft_report_copy(b"key-ttl", &[9u8; 20], 0).unwrap();
+    let mut frame = report.frame.clone();
+    {
+        let mut eth = ethernet::Frame::new_unchecked(&mut frame[..]);
+        let mut ip = ipv4::Packet::new_unchecked(eth.payload_mut());
+        ip.set_ttl(63);
+        ip.fill_checksum();
+    }
+    let outcome = collector.receive_frame(&frame);
+    assert!(
+        matches!(outcome.action, RxAction::WriteExecuted { .. }),
+        "{outcome:?}"
+    );
+}
+
+#[test]
+fn in_flight_corruption_is_dropped_before_dma() {
+    let (mut egress, mut collector) = setup();
+    let report = egress
+        .craft_report_copy(b"key-corrupt", &[1u8; 20], 0)
+        .unwrap();
+
+    // Flip one payload bit without fixing the iCRC.
+    let mut frame = report.frame.clone();
+    let len = frame.len();
+    frame[len - 10] ^= 0x01;
+    let outcome = collector.receive_frame(&frame);
+    assert_eq!(outcome.action, RxAction::Dropped(DropReason::Icrc));
+
+    // Memory must be untouched: the query comes back empty.
+    assert_eq!(collector.query(b"key-corrupt"), QueryOutcome::Empty);
+}
+
+#[test]
+fn psn_sequences_per_switch_are_accepted() {
+    let (mut egress, mut collector) = setup();
+    // A burst of reports from one switch: PSNs 0,1,2,… must all land.
+    for i in 0..32u64 {
+        let key = i.to_le_bytes();
+        let report = egress.craft_report(&key, &[i as u8; 20]).unwrap();
+        let outcome = collector.receive_frame(&report.frame);
+        assert!(
+            matches!(outcome.action, RxAction::WriteExecuted { .. }),
+            "report {i} rejected: {outcome:?}"
+        );
+    }
+    assert_eq!(collector.nic_counters().writes, 32);
+    assert_eq!(collector.nic_counters().psn, 0);
+}
+
+#[test]
+fn sram_budget_supports_tens_of_thousands_of_collectors() {
+    // §6: "about 20 bytes of on-switch SRAM per-collector ... support
+    // for tens of thousands of collectors".
+    let per = DartEgress::sram_bytes_per_collector();
+    assert_eq!(per, 20);
+    let budget_for_50k = ControlPlane::new().sram_budget(50_000);
+    assert!(budget_for_50k <= 1_000_000, "1 MB for 50k collectors");
+}

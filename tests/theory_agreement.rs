@@ -1,0 +1,110 @@
+//! §4 ↔ §5 agreement: Monte-Carlo simulation pinned against the
+//! closed-form analysis across the parameter grid.
+
+use dta_bench::storesim::{run, StoreSimParams};
+use dta_bench::theory::run_point;
+use dta_bench::Scale;
+
+#[test]
+fn average_success_tracks_theory_across_loads_and_redundancy() {
+    let slots = 1u64 << 15;
+    for n in [1u8, 2, 3, 4] {
+        for alpha in [0.25f64, 0.5, 1.0, 2.0] {
+            let keys = (alpha * slots as f64) as u64;
+            let sim = run(
+                StoreSimParams {
+                    slots,
+                    keys,
+                    copies: n,
+                    ..StoreSimParams::default()
+                },
+                1,
+            );
+            let theory = dta_analysis::average_query_success(alpha, u32::from(n));
+            assert!(
+                (sim.success_rate() - theory).abs() < 0.02,
+                "N={n} α={alpha}: sim {} vs theory {theory}",
+                sim.success_rate()
+            );
+        }
+    }
+}
+
+#[test]
+fn aging_curve_matches_pointwise_formula() {
+    // Bucket b of B spans ages [(B-b-1)/B·α, (B-b)/B·α]; compare each
+    // bucket midpoint against the §4 point formula.
+    let slots = 1u64 << 15;
+    let alpha = 1.5f64;
+    let keys = (alpha * slots as f64) as u64;
+    let buckets = 10usize;
+    let sim = run(
+        StoreSimParams {
+            slots,
+            keys,
+            copies: 2,
+            ..StoreSimParams::default()
+        },
+        buckets,
+    );
+    for (b, &observed) in sim.age_buckets.iter().enumerate() {
+        // Bucket b holds keys inserted in [b/B, (b+1)/B) of the run;
+        // their age is alpha * (1 - position).
+        let midpoint_age = alpha * (1.0 - (b as f64 + 0.5) / buckets as f64);
+        let predicted = dta_analysis::query_success(midpoint_age, 2);
+        assert!(
+            (observed - predicted).abs() < 0.03,
+            "bucket {b}: observed {observed} vs predicted {predicted}"
+        );
+    }
+}
+
+#[test]
+fn empty_return_probability_within_analysis() {
+    for &(alpha, n, bits) in &[(0.5f64, 2u8, 8u32), (1.0, 2, 8), (1.0, 3, 16), (2.0, 4, 8)] {
+        let p = run_point(alpha, n, bits, 1 << 15, 20_000, 99);
+        // run_point's prediction integrates the §4 formulas over the
+        // victims' age range; the observation must track it closely
+        // (the prediction uses the ambiguity *lower* bound, so allow a
+        // slightly wider band above).
+        assert!(
+            (p.empty_observed - p.empty_predicted).abs() < 0.02,
+            "α={alpha} N={n} b={bits}: observed {} vs predicted {}",
+            p.empty_observed,
+            p.empty_predicted
+        );
+    }
+}
+
+#[test]
+fn return_errors_within_bounds_at_8_bits() {
+    let p = run_point(2.0, 2, 8, 1 << 14, 60_000, 7);
+    assert!(
+        p.error_observed >= p.error_lower * 0.4,
+        "observed {} far below lower bound {}",
+        p.error_observed,
+        p.error_lower
+    );
+    assert!(
+        p.error_observed <= p.error_upper * 1.6 + 1e-4,
+        "observed {} above upper bound {}",
+        p.error_observed,
+        p.error_upper
+    );
+}
+
+#[test]
+fn thirty_two_bit_checksums_produce_no_observable_errors() {
+    // §5.3: "Our simulations with 32-bit key-checksums fail to reproduce
+    // return-error cases, due to their very low probability."
+    let sim = run(
+        StoreSimParams {
+            slots: Scale(1).slots_for_load(2.0).next_power_of_two(),
+            keys: Scale(1).keys() * 2,
+            copies: 2,
+            ..StoreSimParams::default()
+        },
+        1,
+    );
+    assert_eq!(sim.error, 0);
+}
