@@ -1,0 +1,153 @@
+//! `chaos-soak` — long-running collector-failure soak.
+//!
+//! ```text
+//! chaos-soak [--flows N] [--collectors C] [--cycles K] [--seed S]
+//! ```
+//!
+//! Kills and recovers collectors in rotation while the fat-tree keeps
+//! reporting over a link with combined loss *and* reordering, then
+//! queries everything back. The run fails (exit 1) if any query returns
+//! a wrong answer, or if post-recovery telemetry is not queryable.
+
+use std::env;
+use std::process::ExitCode;
+
+use dta_rdma::link::FaultModel;
+use dta_topology::sim::{CollectorFault, FatTreeSim, FaultKind, SimConfig};
+
+struct Args {
+    flows: u64,
+    collectors: u32,
+    cycles: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        flows: 20_000,
+        collectors: 4,
+        cycles: 12,
+        seed: 0x50AC,
+    };
+    let mut it = env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match flag.as_str() {
+            "--flows" => args.flows = value("--flows")?,
+            "--collectors" => args.collectors = value("--collectors")? as u32,
+            "--cycles" => args.cycles = value("--cycles")?,
+            "--seed" => args.seed = value("--seed")?,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    if args.collectors < 2 {
+        return Err("need at least 2 collectors to fail over".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("chaos-soak: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Each flow emits `copies` frames; schedule the crash/recover
+    // cycles across the first 60% of the run so the tail demonstrates
+    // recovery.
+    let frames = args.flows * 2;
+    let window = frames * 6 / 10;
+    let spacing = window / args.cycles.max(1);
+    let faults: Vec<CollectorFault> = (0..args.cycles)
+        .map(|i| CollectorFault {
+            index: (i % u64::from(args.collectors)) as u32,
+            after_frames: spacing / 2 + i * spacing,
+            kind: if i % 3 == 2 {
+                FaultKind::Blackhole
+            } else {
+                FaultKind::Crash
+            },
+            recover_after: Some(spacing.max(200)),
+        })
+        .collect();
+
+    let mut sim = match FatTreeSim::new(SimConfig {
+        slots: 1 << 14,
+        collectors: args.collectors,
+        fault: FaultModel::LossyReorder {
+            loss: 0.05,
+            prob: 0.2,
+        },
+        faults,
+        seed: args.seed,
+        ..SimConfig::default()
+    }) {
+        Ok(sim) => sim,
+        Err(e) => {
+            eprintln!("chaos-soak: sim construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Err(e) = sim.run_flows(args.flows) {
+        eprintln!("chaos-soak: run failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let report = sim.query_all(10);
+
+    println!(
+        "chaos-soak: {} flows, {} collectors, {} fault cycles",
+        args.flows, args.collectors, args.cycles
+    );
+    println!(
+        "  queries: {} correct, {} empty, {} error, {} unreachable ({:.1}% success)",
+        report.correct,
+        report.empty,
+        report.error,
+        report.unreachable,
+        report.success_rate() * 100.0
+    );
+    println!(
+        "  link: {} sent, {} dropped, {} reordered",
+        report.link.sent, report.link.dropped, report.link.reordered
+    );
+    for id in 0..args.collectors as usize {
+        let drops = report.fault_drops[id];
+        println!(
+            "  collector {id}: {} crash drops, {} blackhole drops, histogram {:?}",
+            drops.crashed, drops.blackholed, report.drop_histograms[id]
+        );
+    }
+    let newest = report.age_buckets.last().copied().unwrap_or(0.0);
+    println!("  newest age bucket success: {:.1}%", newest * 100.0);
+
+    let mut failed = false;
+    if report.error > 0 {
+        eprintln!("FAIL: {} wrong answers (must be 0)", report.error);
+        failed = true;
+    }
+    if newest < 0.9 {
+        eprintln!("FAIL: post-recovery success {newest:.3} < 0.9");
+        failed = true;
+    }
+    for id in 0..args.collectors {
+        if !sim.liveness_mask().is_live(id) {
+            eprintln!("FAIL: collector {id} still marked dead after recovery window");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("chaos-soak: PASS");
+        ExitCode::SUCCESS
+    }
+}

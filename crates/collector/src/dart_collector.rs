@@ -80,17 +80,31 @@ impl DartCollector {
     /// second switch's low PSNs as stale duplicates otherwise. RDMA NICs
     /// support millions of QPs; one per switch is the deployment model.
     pub fn allocate_switch_qp(&mut self) -> RemoteEndpoint {
+        self.allocate_switch_qp_from(Psn::new(0))
+    }
+
+    /// Like [`DartCollector::allocate_switch_qp`], but the queue pair
+    /// expects `start_psn` first — the PSN the control plane negotiated
+    /// with the reporting switch. Lets tests pre-wind both ends close to
+    /// the 24-bit wrap point without replaying 2²⁴ frames.
+    pub fn allocate_switch_qp_from(&mut self, start_psn: Psn) -> RemoteEndpoint {
         let qpn = self
             .device
-            .create_uc_qp(Psn::new(0))
+            .create_uc_qp(start_psn)
             .expect("QPN space is ample");
         RemoteEndpoint {
             qpn,
+            start_psn,
             ..self.endpoint
         }
     }
 
-    /// NIC counters.
+    /// Per-QP receive counters (PSN gap accounting), if `qpn` exists.
+    pub fn qp_counters(&self, qpn: u32) -> Option<dta_rdma::qp::QpCounters> {
+        self.device.nic().qp(qpn).map(|qp| qp.counters())
+    }
+
+    /// The NIC's receive-path counters.
     pub fn nic_counters(&self) -> NicCounters {
         self.device.nic().counters()
     }
@@ -137,6 +151,19 @@ impl DartCollector {
             mr.zero();
         }
         (self.epochs.len() - 1) as u64
+    }
+
+    /// Wipe this collector's state as a crash-restart would: the
+    /// telemetry region is zeroed and every sealed epoch snapshot is
+    /// gone (they lived in the same DRAM). NIC registrations and QP
+    /// state survive — the model for the control plane re-establishing
+    /// the same rkey/QPN layout on the replacement host, with UC gap
+    /// accounting absorbing the jump to each switch's current PSN.
+    pub fn wipe_memory(&mut self) {
+        self.epochs.clear();
+        if let Some(mr) = self.device.nic().mr(self.endpoint.rkey) {
+            mr.zero();
+        }
     }
 
     /// Sealed epochs available for historical queries.

@@ -29,5 +29,5 @@ pub mod mini_kafka;
 pub mod query_service;
 pub mod rx;
 
-pub use cluster::CollectorCluster;
+pub use cluster::{CollectorCluster, CollectorHealth, FaultDrops, QueryError};
 pub use dart_collector::DartCollector;

@@ -198,6 +198,217 @@ impl MappingKind {
     }
 }
 
+/// Domain-separation prefix for the failover rank hash. Chosen outside
+/// the copy-index range actually used for slot addressing (copies ≤ 4)
+/// so failover target selection is independent of every slot choice.
+const FAILOVER_DOMAIN: u8 = 0x7F;
+
+/// Liveness of up to 64 collectors as a bitmask (bit `i` set ⇔ collector
+/// `i` is believed alive).
+///
+/// This is the unit of agreement between the switch data plane and the
+/// query side: the control plane distributes one mask to every switch's
+/// per-collector liveness registers and to the operators, and both ends
+/// evaluate the *same* [`failover_collector`] function over it. A mask is
+/// a plain `u64` on the wire, so pushing it to a switch is a single
+/// register write per collector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LivenessMask {
+    bits: u64,
+    total: u32,
+}
+
+impl LivenessMask {
+    /// Maximum collectors a mask can track.
+    pub const MAX_COLLECTORS: u32 = 64;
+
+    /// All `total` collectors alive. Panics if `total` exceeds 64.
+    pub fn all_live(total: u32) -> Self {
+        assert!(
+            total <= Self::MAX_COLLECTORS,
+            "liveness mask supports at most 64 collectors"
+        );
+        let bits = if total == 64 {
+            u64::MAX
+        } else {
+            (1u64 << total) - 1
+        };
+        LivenessMask { bits, total }
+    }
+
+    /// Rebuild from raw bits (e.g. read back from switch registers).
+    /// Bits at or above `total` are ignored.
+    pub fn from_bits(bits: u64, total: u32) -> Self {
+        let mut mask = Self::all_live(total);
+        mask.bits &= bits;
+        mask
+    }
+
+    /// The raw bitmask.
+    pub fn bits(&self) -> u64 {
+        self.bits
+    }
+
+    /// Number of collectors tracked.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// Is collector `id` believed alive? Out-of-range ids are dead.
+    pub fn is_live(&self, id: u32) -> bool {
+        id < self.total && self.bits >> id & 1 == 1
+    }
+
+    /// Mark collector `id` alive or dead.
+    pub fn set_live(&mut self, id: u32, live: bool) {
+        assert!(id < self.total, "collector id out of range");
+        if live {
+            self.bits |= 1 << id;
+        } else {
+            self.bits &= !(1 << id);
+        }
+    }
+
+    /// Number of live collectors.
+    pub fn live_count(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// The `rank`-th live collector in ascending id order, if any.
+    pub fn nth_live(&self, rank: u32) -> Option<u32> {
+        let mut remaining = rank;
+        for id in 0..self.total {
+            if self.bits >> id & 1 == 1 {
+                if remaining == 0 {
+                    return Some(id);
+                }
+                remaining -= 1;
+            }
+        }
+        None
+    }
+}
+
+/// Where writes (and reads) for `key` go under the current liveness mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverTarget {
+    /// The primary collector is alive; no remap.
+    Primary(u32),
+    /// The primary is dead; traffic fails over to this survivor.
+    Failover {
+        /// The dead primary (still the key's home once it recovers).
+        primary: u32,
+        /// The live collector absorbing the key's share.
+        target: u32,
+    },
+    /// Every collector is dead — nowhere to write.
+    NoneLive,
+}
+
+impl FailoverTarget {
+    /// The collector that should receive writes, if any is live.
+    pub fn write_target(&self) -> Option<u32> {
+        match *self {
+            FailoverTarget::Primary(id) => Some(id),
+            FailoverTarget::Failover { target, .. } => Some(target),
+            FailoverTarget::NoneLive => None,
+        }
+    }
+}
+
+/// Resolve the collector for `key` under a liveness mask — the shared
+/// failover math evaluated identically by switch egress pipelines and
+/// query-side operators.
+///
+/// The primary choice is `mapping.collector(key, total)`, exactly as in
+/// the all-healthy case — failover never perturbs healthy keys. When the
+/// primary is dead, a *domain-separated* rank hash picks uniformly among
+/// the `live` survivors: `rank = slot(key, 0x7F, live_count)` indexes the
+/// live set in ascending id order. Both sides only need the mask and the
+/// shared [`AddressMapping`], so no coordination beyond mask distribution
+/// is required; a dead collector's key share spreads evenly over all
+/// survivors (each inherits `1/(c-1)` of it), and the choice is stable
+/// for as long as the mask is stable.
+pub fn failover_collector(
+    mapping: &dyn AddressMapping,
+    key: &[u8],
+    mask: LivenessMask,
+) -> FailoverTarget {
+    let primary = mapping.collector(key, mask.total());
+    if mask.is_live(primary) {
+        return FailoverTarget::Primary(primary);
+    }
+    let live = mask.live_count();
+    if live == 0 {
+        return FailoverTarget::NoneLive;
+    }
+    let rank = mapping.slot(key, FAILOVER_DOMAIN, u64::from(live)) as u32;
+    let target = mask
+        .nth_live(rank)
+        .expect("rank < live_count, so a live collector exists");
+    FailoverTarget::Failover { primary, target }
+}
+
+/// An [`AddressMapping`] wrapper that applies liveness-aware failover to
+/// collector selection while passing slot and checksum choices through
+/// untouched.
+///
+/// Useful when a component only speaks `AddressMapping` (e.g. a query
+/// engine) but should transparently follow the failover remap. The
+/// collector count passed to [`AddressMapping::collector`] is ignored in
+/// favour of the mask's total, which must match the deployment size.
+#[derive(Debug, Clone)]
+pub struct FailoverMapping<M> {
+    inner: M,
+    mask: LivenessMask,
+}
+
+impl<M: AddressMapping> FailoverMapping<M> {
+    /// Wrap `inner`, resolving collectors under `mask`.
+    pub fn new(inner: M, mask: LivenessMask) -> Self {
+        FailoverMapping { inner, mask }
+    }
+
+    /// Current liveness mask.
+    pub fn mask(&self) -> LivenessMask {
+        self.mask
+    }
+
+    /// Replace the liveness mask (e.g. after a control-plane update).
+    pub fn set_mask(&mut self, mask: LivenessMask) {
+        self.mask = mask;
+    }
+
+    /// The wrapped mapping.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Full failover resolution for `key` (primary and target identity).
+    pub fn target(&self, key: &[u8]) -> FailoverTarget {
+        failover_collector(&self.inner, key, self.mask)
+    }
+}
+
+impl<M: AddressMapping> AddressMapping for FailoverMapping<M> {
+    fn collector(&self, key: &[u8], _collectors: u32) -> u32 {
+        match self.target(key) {
+            FailoverTarget::Primary(id) | FailoverTarget::Failover { target: id, .. } => id,
+            // With nothing live there is no meaningful answer; fall back
+            // to the primary so callers at least stay deterministic.
+            FailoverTarget::NoneLive => self.inner.collector(key, self.mask.total()),
+        }
+    }
+
+    fn slot(&self, key: &[u8], copy: u8, slots: u64) -> u64 {
+        self.inner.slot(key, copy, slots)
+    }
+
+    fn key_checksum(&self, key: &[u8]) -> u32 {
+        self.inner.key_checksum(key)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,5 +599,150 @@ mod tests {
         assert_ne!(hash_bytes(b"12345678A", 0), hash_bytes(b"12345678B", 0));
         // Length extension: "x" vs "x\0" must differ.
         assert_ne!(hash_bytes(b"x", 0), hash_bytes(b"x\0", 0));
+    }
+
+    #[test]
+    fn liveness_mask_basics() {
+        let mut mask = LivenessMask::all_live(4);
+        assert_eq!(mask.live_count(), 4);
+        assert!(mask.is_live(3));
+        assert!(!mask.is_live(4)); // out of range ⇒ dead
+        mask.set_live(2, false);
+        assert_eq!(mask.live_count(), 3);
+        assert!(!mask.is_live(2));
+        assert_eq!(mask.nth_live(0), Some(0));
+        assert_eq!(mask.nth_live(2), Some(3));
+        assert_eq!(mask.nth_live(3), None);
+        mask.set_live(2, true);
+        assert_eq!(mask, LivenessMask::all_live(4));
+        // 64-collector edge: (1 << 64) must not be computed.
+        assert_eq!(LivenessMask::all_live(64).live_count(), 64);
+        assert_eq!(LivenessMask::from_bits(0b101, 2).live_count(), 1);
+    }
+
+    #[test]
+    fn failover_noop_when_all_live() {
+        for m in mappings() {
+            let mask = LivenessMask::all_live(8);
+            for i in 0..200u32 {
+                let key = i.to_le_bytes();
+                let primary = m.collector(&key, 8);
+                assert_eq!(
+                    failover_collector(m.as_ref(), &key, mask),
+                    FailoverTarget::Primary(primary)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn failover_only_moves_dead_primary_keys() {
+        for m in mappings() {
+            let mut mask = LivenessMask::all_live(8);
+            mask.set_live(3, false);
+            for i in 0..500u32 {
+                let key = i.to_le_bytes();
+                let primary = m.collector(&key, 8);
+                match failover_collector(m.as_ref(), &key, mask) {
+                    FailoverTarget::Primary(id) => {
+                        assert_eq!(id, primary);
+                        assert_ne!(id, 3);
+                    }
+                    FailoverTarget::Failover { primary: p, target } => {
+                        assert_eq!(p, 3);
+                        assert_eq!(primary, 3);
+                        assert_ne!(target, 3, "failover must pick a survivor");
+                        assert!(mask.is_live(target));
+                    }
+                    FailoverTarget::NoneLive => panic!("survivors exist"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn failover_spreads_over_survivors() {
+        // A dead collector's share must spread over all survivors, not
+        // pile onto one (which would cascade overload on real racks).
+        let m = Mix64Mapping::new(9);
+        let mut mask = LivenessMask::all_live(4);
+        mask.set_live(1, false);
+        let mut counts = [0u64; 4];
+        let mut remapped = 0u64;
+        for i in 0..20_000u32 {
+            let key = i.to_le_bytes();
+            if let FailoverTarget::Failover { target, .. } = failover_collector(&m, &key, mask) {
+                counts[target as usize] += 1;
+                remapped += 1;
+            }
+        }
+        assert_eq!(counts[1], 0);
+        let expected = remapped as f64 / 3.0;
+        for &id in &[0usize, 2, 3] {
+            let frac = counts[id] as f64 / expected;
+            assert!(
+                (0.9..1.1).contains(&frac),
+                "survivor {id} got {frac:.2}x its fair share"
+            );
+        }
+    }
+
+    #[test]
+    fn failover_is_deterministic_and_mask_sensitive() {
+        let m = CrcMapping::new();
+        let mut mask = LivenessMask::all_live(6);
+        mask.set_live(0, false);
+        for i in 0..100u32 {
+            let key = i.to_le_bytes();
+            // Switch side and query side compute independently — the
+            // function of (mapping, key, mask) must agree call-to-call.
+            assert_eq!(
+                failover_collector(&m, &key, mask),
+                failover_collector(&m, &key, mask)
+            );
+        }
+        // A second failure reroutes only what it must: keys that were on
+        // still-live targets may move (rank set shrank), but the new
+        // target is always live under the *current* mask.
+        let mut mask2 = mask;
+        mask2.set_live(4, false);
+        for i in 0..500u32 {
+            let key = i.to_le_bytes();
+            if let Some(t) = failover_collector(&m, &key, mask2).write_target() {
+                assert!(mask2.is_live(t));
+            }
+        }
+    }
+
+    #[test]
+    fn failover_none_live() {
+        let m = Mix64Mapping::new(0);
+        let mask = LivenessMask::from_bits(0, 3);
+        assert_eq!(failover_collector(&m, b"k", mask), FailoverTarget::NoneLive);
+        assert_eq!(failover_collector(&m, b"k", mask).write_target(), None);
+    }
+
+    #[test]
+    fn failover_mapping_wrapper_follows_mask() {
+        let mask = LivenessMask::all_live(4);
+        let mut wrapped = FailoverMapping::new(Mix64Mapping::new(5), mask);
+        let plain = Mix64Mapping::new(5);
+        for i in 0..100u32 {
+            let key = i.to_le_bytes();
+            // Healthy: identical to the plain mapping on every method.
+            assert_eq!(wrapped.collector(&key, 4), plain.collector(&key, 4));
+            assert_eq!(wrapped.slot(&key, 1, 512), plain.slot(&key, 1, 512));
+            assert_eq!(wrapped.key_checksum(&key), plain.key_checksum(&key));
+        }
+        let mut dead = mask;
+        dead.set_live(2, false);
+        wrapped.set_mask(dead);
+        assert_eq!(wrapped.mask(), dead);
+        for i in 0..200u32 {
+            let key = i.to_le_bytes();
+            assert_ne!(wrapped.collector(&key, 4), 2, "dead collector selected");
+            // Slots and checksums stay put — only collector choice moves.
+            assert_eq!(wrapped.slot(&key, 0, 512), plain.slot(&key, 0, 512));
+        }
     }
 }

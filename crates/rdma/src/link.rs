@@ -33,6 +33,37 @@ pub enum FaultModel {
         /// Swap probability in `[0, 1]`.
         prob: f64,
     },
+    /// Gilbert–Elliott bursty loss: a two-state Markov chain alternating
+    /// between a good and a bad state, each with its own loss rate. The
+    /// classic model for congestion bursts and flapping optics, which
+    /// Bernoulli loss cannot reproduce (DART's per-key slot redundancy is
+    /// far more stressed by correlated than by independent loss).
+    GilbertElliott {
+        /// Per-frame probability of moving good → bad.
+        to_bad: f64,
+        /// Per-frame probability of moving bad → good.
+        to_good: f64,
+        /// Loss probability while in the good state.
+        loss_good: f64,
+        /// Loss probability while in the bad state.
+        loss_bad: f64,
+    },
+    /// Deliver every frame, and with this probability deliver it twice —
+    /// the duplication a routing flap or retransmitting middlebox causes.
+    /// Receivers must de-duplicate via PSN ordering (UC drops stale PSNs)
+    /// or the duplicate WRITE would be applied twice.
+    Duplicate {
+        /// Duplication probability in `[0, 1]`.
+        prob: f64,
+    },
+    /// Bernoulli loss composed with adjacent reordering — the combined
+    /// stress the chaos soak runs under.
+    LossyReorder {
+        /// Loss probability in `[0, 1]`, applied first.
+        loss: f64,
+        /// Swap probability in `[0, 1]` for surviving adjacent pairs.
+        prob: f64,
+    },
 }
 
 /// Link delivery statistics.
@@ -46,6 +77,12 @@ pub struct LinkStats {
     pub dropped: u64,
     /// Frame pairs swapped.
     pub reordered: u64,
+    /// Frames delivered twice (each counted once here, twice in
+    /// `delivered`).
+    pub duplicated: u64,
+    /// Subset of `dropped` lost while a Gilbert–Elliott link was in its
+    /// bad state — distinguishes burst loss from background loss.
+    pub burst_drops: u64,
 }
 
 /// The transmitting end of a link.
@@ -56,6 +93,7 @@ pub struct LinkTx {
     count: u64,
     stats: LinkStats,
     pending: Option<Vec<u8>>,
+    ge_bad: bool,
 }
 
 /// The receiving end of a link.
@@ -74,6 +112,7 @@ pub fn link(model: FaultModel, seed: u64) -> (LinkTx, LinkRx) {
             count: 0,
             stats: LinkStats::default(),
             pending: None,
+            ge_bad: false,
         },
         LinkRx { rx },
     )
@@ -100,21 +139,63 @@ impl LinkTx {
                     self.deliver(frame);
                 }
             }
-            FaultModel::Reorder { prob } => {
-                if let Some(held) = self.pending.take() {
-                    // Decide order of (held, frame).
-                    if self.rng.gen::<f64>() < prob {
-                        self.stats.reordered += 1;
-                        self.deliver(frame);
-                        self.deliver(held);
-                    } else {
-                        self.deliver(held);
-                        self.deliver(frame);
+            FaultModel::Reorder { prob } => self.reorder_send(frame, prob),
+            FaultModel::GilbertElliott {
+                to_bad,
+                to_good,
+                loss_good,
+                loss_bad,
+            } => {
+                // State transition first, then the state's loss draw, so a
+                // burst can begin on the very frame that enters the bad
+                // state.
+                let flip = if self.ge_bad { to_good } else { to_bad };
+                if self.rng.gen::<f64>() < flip {
+                    self.ge_bad = !self.ge_bad;
+                }
+                let loss = if self.ge_bad { loss_bad } else { loss_good };
+                if self.rng.gen::<f64>() < loss {
+                    self.stats.dropped += 1;
+                    if self.ge_bad {
+                        self.stats.burst_drops += 1;
                     }
                 } else {
-                    self.pending = Some(frame);
+                    self.deliver(frame);
                 }
             }
+            FaultModel::Duplicate { prob } => {
+                let dup = self.rng.gen::<f64>() < prob;
+                if dup {
+                    self.stats.duplicated += 1;
+                    self.deliver(frame.clone());
+                }
+                self.deliver(frame);
+            }
+            FaultModel::LossyReorder { loss, prob } => {
+                if self.rng.gen::<f64>() < loss {
+                    self.stats.dropped += 1;
+                } else {
+                    self.reorder_send(frame, prob);
+                }
+            }
+        }
+    }
+
+    /// Pair `frame` with the previously held one and emit the pair in
+    /// random order (adjacent reordering).
+    fn reorder_send(&mut self, frame: Vec<u8>, prob: f64) {
+        if let Some(held) = self.pending.take() {
+            // Decide order of (held, frame).
+            if self.rng.gen::<f64>() < prob {
+                self.stats.reordered += 1;
+                self.deliver(frame);
+                self.deliver(held);
+            } else {
+                self.deliver(held);
+                self.deliver(frame);
+            }
+        } else {
+            self.pending = Some(frame);
         }
     }
 
@@ -246,5 +327,122 @@ mod tests {
     fn try_recv_empty() {
         let (_tx, rx) = link(FaultModel::Perfect, 1);
         assert!(rx.try_recv().is_none());
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Mean loss matches the chain's stationary rate, and drops
+        // cluster: the conditional loss probability after a drop must be
+        // much higher than the marginal one.
+        let model = FaultModel::GilbertElliott {
+            to_bad: 0.02,
+            to_good: 0.2,
+            loss_good: 0.0,
+            loss_bad: 0.8,
+        };
+        let (mut tx, rx) = link(model, 42);
+        let n = 50_000u64;
+        let mut lost = vec![false; n as usize];
+        for (i, f) in frames(n).into_iter().enumerate() {
+            let before = tx.stats().dropped;
+            tx.send(f);
+            lost[i] = tx.stats().dropped > before;
+        }
+        drop(rx);
+        // Stationary bad-state share = to_bad / (to_bad + to_good) ≈ 0.0909,
+        // so the marginal loss rate ≈ 0.0909 * 0.8 ≈ 0.073.
+        let marginal = lost.iter().filter(|&&l| l).count() as f64 / n as f64;
+        assert!((0.05..0.10).contains(&marginal), "marginal loss {marginal}");
+        let after_loss = lost.windows(2).filter(|w| w[0]).count();
+        let both = lost.windows(2).filter(|w| w[0] && w[1]).count();
+        let conditional = both as f64 / after_loss as f64;
+        assert!(
+            conditional > 3.0 * marginal,
+            "loss not bursty: P(loss|loss) = {conditional:.3} vs marginal {marginal:.3}"
+        );
+        assert_eq!(
+            tx.stats().dropped,
+            lost.iter().filter(|&&l| l).count() as u64
+        );
+        assert!(tx.stats().burst_drops > 0);
+        assert!(tx.stats().burst_drops <= tx.stats().dropped);
+    }
+
+    #[test]
+    fn gilbert_elliott_good_state_loss_not_counted_as_burst() {
+        // A chain pinned to the good state drops at loss_good and records
+        // zero burst drops.
+        let model = FaultModel::GilbertElliott {
+            to_bad: 0.0,
+            to_good: 1.0,
+            loss_good: 0.3,
+            loss_bad: 1.0,
+        };
+        let (mut tx, _rx) = link(model, 7);
+        for f in frames(10_000) {
+            tx.send(f);
+        }
+        let rate = tx.stats().dropped as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "observed loss {rate}");
+        assert_eq!(tx.stats().burst_drops, 0);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let (mut tx, rx) = link(FaultModel::Duplicate { prob: 1.0 }, 1);
+        for f in frames(3) {
+            tx.send(f);
+        }
+        let got = rx.drain();
+        // Every frame arrives back-to-back with its duplicate.
+        assert_eq!(
+            got,
+            vec![
+                0u64.to_le_bytes().to_vec(),
+                0u64.to_le_bytes().to_vec(),
+                1u64.to_le_bytes().to_vec(),
+                1u64.to_le_bytes().to_vec(),
+                2u64.to_le_bytes().to_vec(),
+                2u64.to_le_bytes().to_vec(),
+            ]
+        );
+        assert_eq!(tx.stats().duplicated, 3);
+        assert_eq!(tx.stats().delivered, 6);
+        assert_eq!(tx.stats().dropped, 0);
+    }
+
+    #[test]
+    fn duplicate_rate_close_to_nominal() {
+        let (mut tx, rx) = link(FaultModel::Duplicate { prob: 0.25 }, 42);
+        for f in frames(10_000) {
+            tx.send(f);
+        }
+        let rate = tx.stats().duplicated as f64 / 10_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "observed duplication {rate}");
+        assert_eq!(
+            rx.drain().len() as u64,
+            tx.stats().sent + tx.stats().duplicated
+        );
+    }
+
+    #[test]
+    fn lossy_reorder_combines_both_faults() {
+        let (mut tx, rx) = link(
+            FaultModel::LossyReorder {
+                loss: 0.2,
+                prob: 0.5,
+            },
+            42,
+        );
+        for f in frames(10_000) {
+            tx.send(f);
+        }
+        tx.flush();
+        let stats = tx.stats();
+        let loss_rate = stats.dropped as f64 / 10_000.0;
+        assert!((loss_rate - 0.2).abs() < 0.02, "observed loss {loss_rate}");
+        assert!(stats.reordered > 1_000, "reordering inactive");
+        assert_eq!(stats.delivered, 10_000 - stats.dropped);
+        assert_eq!(rx.drain().len() as u64, stats.delivered);
     }
 }

@@ -48,6 +48,15 @@ pub enum DropReason {
     BadRkey,
     /// Memory region refused the access (bounds / permission / alignment).
     AccessViolation,
+    /// The destination collector host is down (injected crash fault);
+    /// emitted by the cluster fabric, never by a NIC itself.
+    CollectorDown,
+    /// The destination NIC is silently discarding frames (injected
+    /// blackhole fault); emitted by the cluster fabric.
+    Blackholed,
+    /// Lost on a degraded (high-loss) last-hop link (injected fault);
+    /// emitted by the cluster fabric.
+    DegradedLink,
 }
 
 /// Host-side API errors (not packet drops).

@@ -4,7 +4,16 @@
 //! the operator, validate that every region can hold the configured slot
 //! geometry, install the collector lookup-table entries, configure the
 //! telemetry mirror session, and report the SRAM budget.
+//!
+//! Since collectors can die, the control plane also runs a
+//! [`HealthMonitor`]: an RC probe loop per collector (modeled as a
+//! zero-byte READ whose ACK is the aliveness signal), with a
+//! consecutive-miss threshold and exponential backoff. Its verdicts are
+//! pushed into every switch's per-collector liveness registers so the
+//! data plane can fail over without ever involving the slow path
+//! per packet.
 
+use dta_core::hash::LivenessMask;
 use dta_rdma::verbs::RemoteEndpoint;
 
 use crate::egress::{DartEgress, SwitchError};
@@ -57,6 +66,125 @@ impl ControlPlane {
     /// Total SRAM the collector state consumes on this switch.
     pub fn sram_budget(&self, collectors: u32) -> usize {
         collectors as usize * DartEgress::sram_bytes_per_collector()
+    }
+}
+
+/// Probe-loop parameters (ticks are the caller's time unit — frames in
+/// the simulator, microseconds on real hardware).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Ticks between probes to a responsive collector.
+    pub interval: u64,
+    /// Consecutive unanswered probes before a collector is declared dead.
+    pub miss_threshold: u32,
+    /// Cap on the exponentially backed-off probe interval for a dead
+    /// collector (still probed, so recovery is detected).
+    pub backoff_max: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            interval: 16,
+            miss_threshold: 3,
+            backoff_max: 256,
+        }
+    }
+}
+
+/// Per-collector probe state.
+#[derive(Debug, Clone, Copy)]
+struct ProbePeer {
+    live: bool,
+    misses: u32,
+    next_probe_at: u64,
+    backoff: u64,
+}
+
+/// The control plane's collector health monitor.
+///
+/// Models the RC probe queue pair the controller keeps to every
+/// collector: each probe is a zero-byte READ, and the RC ACK (or its
+/// absence after the timeout) is the health signal. `miss_threshold`
+/// consecutive timeouts flip the collector to dead; probing continues
+/// under exponential backoff so an ACK flips it back to live. Every
+/// verdict change is pushed to the switches' liveness registers by the
+/// caller (see [`HealthMonitor::tick`]'s return value).
+#[derive(Debug)]
+pub struct HealthMonitor {
+    config: ProbeConfig,
+    peers: Vec<ProbePeer>,
+}
+
+impl HealthMonitor {
+    /// Monitor `collectors` peers, all presumed live, first probes due
+    /// immediately.
+    pub fn new(collectors: u32, config: ProbeConfig) -> HealthMonitor {
+        assert!(config.interval > 0, "probe interval must be nonzero");
+        HealthMonitor {
+            config,
+            peers: vec![
+                ProbePeer {
+                    live: true,
+                    misses: 0,
+                    next_probe_at: 0,
+                    backoff: config.interval,
+                };
+                collectors as usize
+            ],
+        }
+    }
+
+    /// The monitor's current liveness verdicts as a mask.
+    pub fn mask(&self) -> LivenessMask {
+        let mut mask = LivenessMask::all_live(self.peers.len() as u32);
+        for (id, peer) in self.peers.iter().enumerate() {
+            if !peer.live {
+                mask.set_live(id as u32, false);
+            }
+        }
+        mask
+    }
+
+    /// Advance the probe loop to time `now`. `probe` performs one probe
+    /// exchange (RC READ + ACK wait) and reports whether the collector
+    /// acknowledged in time. Returns the new mask if any verdict flipped
+    /// — the caller must then push it to every switch's liveness
+    /// registers (and to the query side).
+    pub fn tick(&mut self, now: u64, mut probe: impl FnMut(u32) -> bool) -> Option<LivenessMask> {
+        let mut changed = false;
+        for id in 0..self.peers.len() {
+            let due = self.peers[id].next_probe_at <= now;
+            if !due {
+                continue;
+            }
+            let acked = probe(id as u32);
+            let cfg = self.config;
+            let peer = &mut self.peers[id];
+            if acked {
+                // Any ACK restores full health: reset the miss count and
+                // the backed-off cadence.
+                if !peer.live {
+                    peer.live = true;
+                    changed = true;
+                }
+                peer.misses = 0;
+                peer.backoff = cfg.interval;
+            } else {
+                peer.misses += 1;
+                if peer.live && peer.misses >= cfg.miss_threshold {
+                    peer.live = false;
+                    changed = true;
+                }
+                if !peer.live {
+                    // Exponential backoff while dead — don't hammer a
+                    // corpse, but keep probing so recovery is noticed.
+                    peer.backoff = (peer.backoff * 2).min(cfg.backoff_max);
+                }
+            }
+            peer.next_probe_at = now + peer.backoff;
+        }
+        changed.then(|| self.mask())
     }
 }
 
@@ -137,5 +265,105 @@ mod tests {
             .clone_to_egress(DART_MIRROR_SESSION, &[0u8; 13], &[0u8; 20])
             .unwrap();
         assert_eq!(clone.payload.len(), 34); // 1 + 13 + 20, untruncated
+    }
+
+    fn probe_config() -> ProbeConfig {
+        ProbeConfig {
+            interval: 10,
+            miss_threshold: 3,
+            backoff_max: 80,
+        }
+    }
+
+    #[test]
+    fn monitor_stays_quiet_while_all_ack() {
+        let mut mon = HealthMonitor::new(3, probe_config());
+        for now in (0..200).step_by(5) {
+            assert_eq!(mon.tick(now, |_| true), None);
+        }
+        assert_eq!(mon.mask().live_count(), 3);
+    }
+
+    #[test]
+    fn death_needs_consecutive_misses() {
+        let mut mon = HealthMonitor::new(2, probe_config());
+        // Collector 1 misses twice, acks once, then goes silent: the two
+        // early misses must not count toward the threshold.
+        let mut calls = 0u32;
+        let mut now = 0;
+        loop {
+            let flipped = mon.tick(now, |id| {
+                if id == 0 {
+                    return true;
+                }
+                calls += 1;
+                calls == 3 // acks only its third probe
+            });
+            if let Some(mask) = flipped {
+                assert!(!mask.is_live(1));
+                assert!(mask.is_live(0));
+                break;
+            }
+            now += 10;
+            assert!(now < 1000, "death never declared");
+        }
+        // Two misses, one ack (reset), then three more misses: 6 probes.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn dead_collector_probed_with_backoff_then_revived() {
+        let mut mon = HealthMonitor::new(1, probe_config());
+        let mut probes_while_dead = 0u32;
+        let mut alive_again_at = None;
+        for now in 0..2000 {
+            let dead = !mon.mask().is_live(0);
+            let revive = now >= 1000;
+            if let Some(mask) = mon.tick(now, |_| {
+                if dead {
+                    probes_while_dead += 1;
+                }
+                revive
+            }) {
+                if mask.is_live(0) {
+                    alive_again_at = Some(now);
+                    break;
+                }
+            }
+        }
+        // Backoff: dead from ~t=30 to ~t=1000, probed at 20,40,80,80...
+        // cadence — far fewer than the ~97 an un-backed-off loop would
+        // send, but enough that revival lands within one backoff_max.
+        assert!(
+            (5..40).contains(&probes_while_dead),
+            "dead-collector probes: {probes_while_dead}"
+        );
+        let revived = alive_again_at.expect("collector revived");
+        assert!(
+            revived < 1000 + 2 * 80,
+            "revival detected too late: t={revived}"
+        );
+    }
+
+    #[test]
+    fn monitor_mask_pushes_into_egress_registers() {
+        let mut mon = HealthMonitor::new(3, probe_config());
+        let mut eg = egress(3);
+        let mut cp = ControlPlane::new();
+        cp.install_directory(&mut eg, &[endpoint(1), endpoint(2), endpoint(3)])
+            .unwrap();
+        let mut mask = None;
+        for now in 0..200 {
+            if let Some(m) = mon.tick(now, |id| id != 2) {
+                mask = Some(m);
+                break;
+            }
+        }
+        let mask = mask.expect("collector 2 declared dead");
+        for id in 0..3 {
+            eg.set_collector_liveness(id, mask.is_live(id)).unwrap();
+        }
+        assert_eq!(eg.liveness_mask(), mask);
+        assert!(!eg.liveness_mask().is_live(2));
     }
 }

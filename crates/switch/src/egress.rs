@@ -16,7 +16,9 @@
 //! two (the modulo reduction is a bit mask on Tofino), keys are bounded
 //! (parser depth), and the only mutable state is the PSN register array.
 
-use dta_core::hash::{AddressMapping, CrcMapping};
+use dta_core::hash::{
+    failover_collector, AddressMapping, CrcMapping, FailoverTarget, LivenessMask,
+};
 use dta_rdma::verbs::RemoteEndpoint;
 use dta_wire::dart::SlotLayout;
 use dta_wire::roce::{self, BthRepr, Opcode, Psn, RethRepr};
@@ -54,6 +56,8 @@ pub enum SwitchError {
         /// Bytes available.
         available: u64,
     },
+    /// Every liveness register reads dead — no collector to report to.
+    NoLiveCollector,
 }
 
 impl core::fmt::Display for SwitchError {
@@ -75,6 +79,7 @@ impl core::fmt::Display for SwitchError {
                 f,
                 "region of {available} B cannot hold {required} B of slots"
             ),
+            SwitchError::NoLiveCollector => write!(f, "all collectors marked dead"),
         }
     }
 }
@@ -118,6 +123,11 @@ pub struct EgressCounters {
     pub reports: u64,
     /// Reports dropped because the collector had no table entry.
     pub unknown_collector: u64,
+    /// Reports remapped to a survivor because the primary's liveness
+    /// register read dead.
+    pub failovers: u64,
+    /// Reports dropped because every liveness register read dead.
+    pub no_live_collector: u64,
 }
 
 /// The DART report-crafting engine of one switch.
@@ -128,6 +138,10 @@ pub struct DartEgress {
     rng: RandomExtern,
     collector_table: MatchActionTable<u32, RemoteEndpoint>,
     psn_registers: RegisterArray<u32>,
+    /// One bit of mutable state per collector: alive (1) or dead (0),
+    /// written by the control plane's health monitor, read feed-forward
+    /// by every report (§6's register-extern-only constraint).
+    liveness: RegisterArray<u8>,
     counters: EgressCounters,
 }
 
@@ -141,13 +155,19 @@ impl DartEgress {
         if !config.slots.is_power_of_two() {
             return Err(SwitchError::SlotsNotPowerOfTwo(config.slots));
         }
+        let collectors = usize::try_from(config.collectors).unwrap();
+        let mut liveness = RegisterArray::new(collectors);
+        for id in 0..collectors {
+            liveness.write(id, 1).expect("sized above");
+        }
         Ok(DartEgress {
             identity,
             config,
             mapping: CrcMapping::new(),
             rng: RandomExtern::new(rng_seed),
-            collector_table: MatchActionTable::new(usize::try_from(config.collectors).unwrap()),
-            psn_registers: RegisterArray::new(usize::try_from(config.collectors).unwrap()),
+            collector_table: MatchActionTable::new(collectors),
+            psn_registers: RegisterArray::new(collectors),
+            liveness,
             counters: EgressCounters::default(),
         })
     }
@@ -181,9 +201,71 @@ impl DartEgress {
                 available: endpoint.region_len,
             });
         }
+        // Seed the PSN register with the QP's negotiated start PSN so the
+        // first crafted report is exactly what the collector expects.
+        self.psn_registers
+            .write(collector_id as usize, endpoint.start_psn.value())
+            .ok();
         self.collector_table
             .install(collector_id, endpoint)
             .map_err(|InstallError::Full| SwitchError::TableFull)
+    }
+
+    /// Control-plane write of one collector's liveness register. The
+    /// health monitor calls this on every state flip; the data plane only
+    /// ever reads it.
+    pub fn set_collector_liveness(
+        &mut self,
+        collector_id: u32,
+        live: bool,
+    ) -> Result<(), SwitchError> {
+        self.liveness
+            .write(collector_id as usize, u8::from(live))
+            .map_err(|_| SwitchError::UnknownCollector(collector_id))
+    }
+
+    /// The liveness registers as a mask (what the failover hash runs on).
+    pub fn liveness_mask(&self) -> LivenessMask {
+        let total = self.config.collectors.min(LivenessMask::MAX_COLLECTORS);
+        let mut bits = 0u64;
+        for id in 0..total {
+            if self.liveness.read(id as usize).unwrap_or(0) != 0 {
+                bits |= 1 << id;
+            }
+        }
+        LivenessMask::from_bits(bits, total)
+    }
+
+    /// Control-plane write of one PSN register — used when a QP is
+    /// renegotiated at a nonzero PSN (and by wraparound tests to pre-wind
+    /// a register next to the 24-bit modulus).
+    pub fn set_psn_register(&mut self, collector_id: u32, psn: Psn) -> Result<(), SwitchError> {
+        self.psn_registers
+            .write(collector_id as usize, psn.value())
+            .map_err(|_| SwitchError::UnknownCollector(collector_id))
+    }
+
+    /// Data-plane collector resolution: the primary hash, then the
+    /// liveness registers. A dead primary's report is remapped onto a
+    /// live survivor by [`failover_collector`] — the identical function
+    /// the query side evaluates, so readers always know where a key's
+    /// writes went. Deployments beyond the 64-collector mask limit fall
+    /// back to primary-only routing.
+    fn resolve_collector(&mut self, key: &[u8]) -> Result<u32, SwitchError> {
+        if self.config.collectors > LivenessMask::MAX_COLLECTORS {
+            return Ok(self.mapping.collector(key, self.config.collectors));
+        }
+        match failover_collector(&self.mapping, key, self.liveness_mask()) {
+            FailoverTarget::Primary(id) => Ok(id),
+            FailoverTarget::Failover { target, .. } => {
+                self.counters.failovers += 1;
+                Ok(target)
+            }
+            FailoverTarget::NoneLive => {
+                self.counters.no_live_collector += 1;
+                Err(SwitchError::NoLiveCollector)
+            }
+        }
     }
 
     /// Estimated on-switch SRAM per collector: the table entry (MAC 6 +
@@ -217,8 +299,8 @@ impl DartEgress {
             });
         }
 
-        // CRC externs: collector, slot, key checksum.
-        let collector_id = self.mapping.collector(key, self.config.collectors);
+        // CRC externs (collector, slot, checksum) + liveness failover.
+        let collector_id = self.resolve_collector(key)?;
         let slot = self.mapping.slot(key, copy, self.config.slots);
         let key_checksum = self.mapping.key_checksum(key);
 
@@ -276,7 +358,7 @@ impl DartEgress {
                 actual: value.len(),
             });
         }
-        let collector_id = self.mapping.collector(key, self.config.collectors);
+        let collector_id = self.resolve_collector(key)?;
         let endpoint = match self.collector_table.lookup(&collector_id) {
             Some(ep) => *ep,
             None => {
@@ -608,12 +690,101 @@ mod tests {
     #[test]
     fn psn_wraps_at_24_bits() {
         let mut e = egress();
-        // Pre-wind the register close to the modulus.
-        for _ in 0..3 {
-            e.craft_report_copy(b"k", &[0u8; 20], 0).unwrap();
+        // Pre-wind the register to the last PSN before the modulus, then
+        // craft across the wrap: MODULUS-1 → 0 → 1.
+        e.set_psn_register(0, Psn::new(Psn::MODULUS - 1)).unwrap();
+        let r0 = e.craft_report_copy(b"k", &[0u8; 20], 0).unwrap();
+        let r1 = e.craft_report_copy(b"k", &[0u8; 20], 1).unwrap();
+        let r2 = e.craft_report_copy(b"k", &[0u8; 20], 0).unwrap();
+        assert_eq!(r0.psn, Psn::new(Psn::MODULUS - 1));
+        assert_eq!(r1.psn, Psn::new(0));
+        assert_eq!(r2.psn, Psn::new(1));
+    }
+
+    fn endpoint_for(id: u32) -> RemoteEndpoint {
+        RemoteEndpoint {
+            mac: ethernet::Address([0x02, 0, 0, 0, 0, 2 + id as u8]),
+            ip: ipv4::Address([10, 0, 0, 2 + id as u8]),
+            qpn: 0x100 + id,
+            rkey: 0x1000 + id,
+            base_va: 0x10000,
+            region_len: 24 * 1024,
+            start_psn: Psn::new(0),
         }
-        // Direct register manipulation is not exposed; instead verify the
-        // masking arithmetic used by the pipeline.
-        assert_eq!((Psn::MODULUS - 1 + 1) & (Psn::MODULUS - 1), 0);
+    }
+
+    fn egress_pair() -> DartEgress {
+        let mut cfg = config();
+        cfg.collectors = 2;
+        let mut e = DartEgress::new(SwitchIdentity::derived(1), cfg, 7).unwrap();
+        e.install_collector(0, endpoint_for(0)).unwrap();
+        e.install_collector(1, endpoint_for(1)).unwrap();
+        e
+    }
+
+    #[test]
+    fn psn_register_seeded_from_endpoint_start_psn() {
+        let mut cfg = config();
+        cfg.collectors = 1;
+        let mut e = DartEgress::new(SwitchIdentity::derived(1), cfg, 7).unwrap();
+        let mut ep = endpoint();
+        ep.start_psn = Psn::new(500);
+        e.install_collector(0, ep).unwrap();
+        let r = e.craft_report_copy(b"k", &[0u8; 20], 0).unwrap();
+        assert_eq!(r.psn, Psn::new(500));
+    }
+
+    #[test]
+    fn dead_primary_fails_over_to_survivor() {
+        let mut e = egress_pair();
+        let mapping = CrcMapping::new();
+        let primary = mapping.collector(b"fo-key", 2);
+        let survivor = 1 - primary;
+
+        // Healthy: report goes to the primary.
+        let r = e.craft_report_copy(b"fo-key", &[1u8; 20], 0).unwrap();
+        assert_eq!(r.collector_id, primary);
+        assert_eq!(e.counters().failovers, 0);
+
+        // Kill the primary's liveness register: the same key now goes to
+        // the survivor, slot hash unchanged.
+        e.set_collector_liveness(primary, false).unwrap();
+        let r = e.craft_report_copy(b"fo-key", &[1u8; 20], 0).unwrap();
+        assert_eq!(r.collector_id, survivor);
+        assert_eq!(r.slot, mapping.slot(b"fo-key", 0, 1024));
+        assert_eq!(e.counters().failovers, 1);
+        // The frame is really addressed to the survivor's endpoint.
+        let eth = ethernet::Frame::new_checked(&r.frame[..]).unwrap();
+        let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+        assert_eq!(ip.dst_addr(), endpoint_for(survivor).ip);
+
+        // Recovery: liveness restored, reports return home.
+        e.set_collector_liveness(primary, true).unwrap();
+        let r = e.craft_report_copy(b"fo-key", &[1u8; 20], 0).unwrap();
+        assert_eq!(r.collector_id, primary);
+    }
+
+    #[test]
+    fn all_collectors_dead_is_an_error_not_a_panic() {
+        let mut e = egress_pair();
+        e.set_collector_liveness(0, false).unwrap();
+        e.set_collector_liveness(1, false).unwrap();
+        assert_eq!(
+            e.craft_report_copy(b"k", &[0u8; 20], 0),
+            Err(SwitchError::NoLiveCollector)
+        );
+        assert_eq!(e.counters().no_live_collector, 1);
+        assert_eq!(e.liveness_mask().live_count(), 0);
+    }
+
+    #[test]
+    fn multiwrite_also_fails_over() {
+        let mut e = egress_pair();
+        let mapping = CrcMapping::new();
+        let primary = mapping.collector(b"mw-fo", 2);
+        e.set_collector_liveness(primary, false).unwrap();
+        let r = e.craft_multiwrite_report(b"mw-fo", &[2u8; 20]).unwrap();
+        assert_eq!(r.collector_id, 1 - primary);
+        assert_eq!(e.counters().failovers, 1);
     }
 }

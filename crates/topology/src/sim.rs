@@ -9,16 +9,18 @@
 
 use std::collections::HashMap;
 
-use dta_collector::CollectorCluster;
+use dta_collector::{CollectorCluster, CollectorHealth, FaultDrops};
 use dta_core::config::DartConfig;
 use dta_core::hash::MappingKind;
 use dta_core::query::{classify, QueryClass, QueryOutcome, ReturnPolicy};
 use dta_rdma::link::{link, FaultModel, LinkRx, LinkStats, LinkTx};
-use dta_switch::control_plane::ControlPlane;
+use dta_rdma::nic::DropReason;
+use dta_switch::control_plane::{ControlPlane, HealthMonitor, ProbeConfig};
 use dta_switch::egress::EgressConfig;
 use dta_switch::int_transit::{IntError, IntPacket, IntRole, IntSwitch};
 use dta_switch::SwitchIdentity;
 use dta_wire::dart::{ChecksumWidth, SlotLayout};
+use dta_wire::roce::Psn;
 use dta_wire::FiveTuple;
 
 use dta_telemetry::int_path::PATH_HOPS;
@@ -37,8 +39,38 @@ pub enum ReportMode {
     PerPacket(u8),
 }
 
-/// Simulator configuration.
+/// What breaks when a scheduled collector fault fires.
 #[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// The host dies: frames vanish, probes time out, queries error.
+    /// Recovery restarts it with *wiped memory*.
+    Crash,
+    /// The NIC silently eats telemetry and probes; the host stays up
+    /// (queries over the management network still reach it).
+    Blackhole,
+    /// The last-hop link turns lossy.
+    Degrade {
+        /// Loss probability in `[0, 1]`.
+        loss: f64,
+    },
+}
+
+/// One scheduled collector fault, driven by the simulator's frame clock
+/// (total frames sent on the switch→collector link).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectorFault {
+    /// Which collector breaks.
+    pub index: u32,
+    /// Fires once the link has carried this many frames.
+    pub after_frames: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+    /// Recover this many frames after the fault fires (`None` = never).
+    pub recover_after: Option<u64>,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Fat-tree arity.
     pub k: u8,
@@ -60,6 +92,13 @@ pub struct SimConfig {
     pub policy: ReturnPolicy,
     /// Master seed.
     pub seed: u64,
+    /// Scheduled collector faults (the chaos schedule).
+    pub faults: Vec<CollectorFault>,
+    /// First PSN on every switch→collector queue pair (lets tests start
+    /// just below the 24-bit wrap).
+    pub initial_psn: u32,
+    /// Health-monitor probe loop parameters (ticks = link frames sent).
+    pub probe: ProbeConfig,
 }
 
 impl Default for SimConfig {
@@ -75,6 +114,9 @@ impl Default for SimConfig {
             mode: ReportMode::AllCopies,
             policy: ReturnPolicy::Plurality,
             seed: 0xDA27,
+            faults: Vec::new(),
+            initial_psn: 0,
+            probe: ProbeConfig::default(),
         }
     }
 }
@@ -88,18 +130,26 @@ pub struct SimReport {
     pub empty: u64,
     /// Keys answered incorrectly.
     pub error: u64,
+    /// Keys whose every holding collector was unreachable at query time
+    /// (the detection window of a crash, before failover kicks in).
+    pub unreachable: u64,
     /// Success rate per age bucket, oldest first (Figure 4's x-axis).
     pub age_buckets: Vec<f64>,
     /// Link delivery statistics.
     pub link: LinkStats,
     /// Total RDMA WRITEs executed by collector NICs.
     pub nic_writes: u64,
+    /// Per-collector drop histograms (NIC receive-path reasons plus
+    /// fabric-level fault drops), indexed by collector ID.
+    pub drop_histograms: Vec<Vec<(DropReason, u64)>>,
+    /// Per-collector fault-drop tallies, indexed by collector ID.
+    pub fault_drops: Vec<FaultDrops>,
 }
 
 impl SimReport {
     /// Total keys queried.
     pub fn total(&self) -> u64 {
-        self.correct + self.empty + self.error
+        self.correct + self.empty + self.error + self.unreachable
     }
 
     /// Overall query success rate.
@@ -164,6 +214,11 @@ pub struct FatTreeSim {
     flowgen: FlowGenerator,
     /// `(key 5-tuple, true value)` in insertion (age) order.
     truths: Vec<(FiveTuple, Vec<u8>)>,
+    monitor: HealthMonitor,
+    /// Scheduled faults not yet fired.
+    pending_faults: Vec<CollectorFault>,
+    /// `(due_frame, collector)` recoveries for fired faults.
+    pending_recoveries: Vec<(u64, u32)>,
 }
 
 impl FatTreeSim {
@@ -185,7 +240,7 @@ impl FatTreeSim {
             .mapping(MappingKind::Crc)
             .policy(config.policy)
             .build()?;
-        let mut cluster = CollectorCluster::new(dart_config)?;
+        let mut cluster = CollectorCluster::with_fault_seed(dart_config, config.seed ^ 0xFA17)?;
 
         // Switches, each running the real egress pipeline.
         let egress_config = EgressConfig {
@@ -206,7 +261,7 @@ impl FatTreeSim {
             .map_err(|e| SimError::Switch(IntError::Switch(e)))?;
             // Each switch gets its own QPs at every collector so its PSN
             // sequence is independently tracked.
-            let directory = cluster.directory_for_switch();
+            let directory = cluster.directory_for_switch_from(Psn::new(config.initial_psn));
             ControlPlane::new()
                 .install_directory(sw.egress_mut(), &directory)
                 .map_err(|e| SimError::Switch(IntError::Switch(e)))?;
@@ -215,6 +270,8 @@ impl FatTreeSim {
 
         let (tx, rx) = link(config.fault, config.seed ^ 0x11A);
         let flowgen = FlowGenerator::new(tree, config.skew, config.seed ^ 0xF10);
+        let monitor = HealthMonitor::new(config.collectors, config.probe);
+        let pending_faults = config.faults.clone();
         Ok(FatTreeSim {
             tree,
             config,
@@ -224,6 +281,9 @@ impl FatTreeSim {
             rx,
             flowgen,
             truths: Vec::new(),
+            monitor,
+            pending_faults,
+            pending_recoveries: Vec::new(),
         })
     }
 
@@ -285,9 +345,61 @@ impl FatTreeSim {
         while let Some(frame) = self.rx.try_recv() {
             self.cluster.deliver(&frame);
         }
+        self.advance_faults();
 
         self.truths.push((flow.tuple, truth));
         Ok(flow.tuple)
+    }
+
+    /// Advance the chaos machinery to the current frame clock: fire due
+    /// faults, perform due recoveries, and run the health monitor's probe
+    /// loop. A verdict flip pushes the new liveness mask into every
+    /// switch's liveness registers and the query side — the detection
+    /// path the data plane never sees per packet.
+    fn advance_faults(&mut self) {
+        let now = self.tx.stats().sent;
+        let mut i = 0;
+        while i < self.pending_faults.len() {
+            if self.pending_faults[i].after_frames <= now {
+                let fault = self.pending_faults.remove(i);
+                let health = match fault.kind {
+                    FaultKind::Crash => CollectorHealth::Crashed,
+                    FaultKind::Blackhole => CollectorHealth::Blackholed,
+                    FaultKind::Degrade { loss } => CollectorHealth::Degraded { loss },
+                };
+                self.cluster.set_health(fault.index, health);
+                if let Some(after) = fault.recover_after {
+                    self.pending_recoveries.push((now + after, fault.index));
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let mut i = 0;
+        while i < self.pending_recoveries.len() {
+            if self.pending_recoveries[i].0 <= now {
+                let (_, index) = self.pending_recoveries.remove(i);
+                self.cluster.recover(index);
+            } else {
+                i += 1;
+            }
+        }
+        let cluster = &mut self.cluster;
+        if let Some(mask) = self.monitor.tick(now, |id| cluster.probe(id)) {
+            for sw in self.switches.values_mut() {
+                for id in 0..mask.total() {
+                    sw.egress_mut()
+                        .set_collector_liveness(id, mask.is_live(id))
+                        .expect("mask sized to the directory");
+                }
+            }
+            self.cluster.set_liveness_mask(mask);
+        }
+    }
+
+    /// The control plane's current liveness verdicts.
+    pub fn liveness_mask(&self) -> dta_core::hash::LivenessMask {
+        self.monitor.mask()
     }
 
     /// Run `n` flows.
@@ -301,6 +413,15 @@ impl FatTreeSim {
     /// Query one previously reported flow.
     pub fn query_flow(&mut self, tuple: &FiveTuple) -> QueryOutcome {
         self.cluster.query(&tuple.to_bytes())
+    }
+
+    /// Query one flow, surfacing unreachable collectors as errors
+    /// (instead of folding them into `Empty`).
+    pub fn try_query_flow(
+        &mut self,
+        tuple: &FiveTuple,
+    ) -> Result<QueryOutcome, dta_collector::QueryError> {
+        self.cluster.try_query(&tuple.to_bytes())
     }
 
     /// Run one flow in *postcard mode* (Table 1 row 2): every switch on
@@ -340,6 +461,7 @@ impl FatTreeSim {
         while let Some(frame) = self.rx.try_recv() {
             self.cluster.deliver(&frame);
         }
+        self.advance_faults();
         Ok((flow.tuple, route))
     }
 
@@ -386,21 +508,24 @@ impl FatTreeSim {
         let mut correct = 0u64;
         let mut empty = 0u64;
         let mut error = 0u64;
+        let mut unreachable = 0u64;
         let mut bucket_correct = vec![0u64; buckets];
         let mut bucket_total = vec![0u64; buckets];
 
         let truths = std::mem::take(&mut self.truths);
         for (i, (tuple, truth)) in truths.iter().enumerate() {
-            let outcome = self.cluster.query(&tuple.to_bytes());
             let bucket = i * buckets / total;
             bucket_total[bucket] += 1;
-            match classify(&outcome, truth) {
-                QueryClass::Correct => {
-                    correct += 1;
-                    bucket_correct[bucket] += 1;
-                }
-                QueryClass::EmptyReturn => empty += 1,
-                QueryClass::ReturnError => error += 1,
+            match self.cluster.try_query(&tuple.to_bytes()) {
+                Err(_) => unreachable += 1,
+                Ok(outcome) => match classify(&outcome, truth) {
+                    QueryClass::Correct => {
+                        correct += 1;
+                        bucket_correct[bucket] += 1;
+                    }
+                    QueryClass::EmptyReturn => empty += 1,
+                    QueryClass::ReturnError => error += 1,
+                },
             }
         }
         self.truths = truths;
@@ -409,6 +534,7 @@ impl FatTreeSim {
             correct,
             empty,
             error,
+            unreachable,
             age_buckets: bucket_correct
                 .iter()
                 .zip(&bucket_total)
@@ -416,12 +542,24 @@ impl FatTreeSim {
                 .collect(),
             link: self.tx.stats(),
             nic_writes: self.cluster.total_writes(),
+            drop_histograms: (0..self.config.collectors)
+                .map(|id| self.cluster.drop_histogram(id))
+                .collect(),
+            fault_drops: (0..self.config.collectors)
+                .map(|id| self.cluster.fault_drops(id))
+                .collect(),
         }
     }
 
     /// Access the collector cluster (e.g. for NIC counters).
     pub fn cluster(&self) -> &CollectorCluster {
         &self.cluster
+    }
+
+    /// Mutable access to the cluster (chaos tests inject unscheduled
+    /// faults or query with explicit policies through this).
+    pub fn cluster_mut(&mut self) -> &mut CollectorCluster {
+        &mut self.cluster
     }
 }
 
@@ -449,8 +587,10 @@ mod tests {
         let report = sim.query_all(4);
         assert_eq!(report.total(), 100);
         assert_eq!(report.error, 0);
+        // 200 writes into 4096 slots: ~0.2 keys expected to lose both
+        // copies to collisions, so allow one aged-out flow.
         assert!(
-            report.success_rate() > 0.99,
+            report.success_rate() >= 0.99,
             "success {}",
             report.success_rate()
         );
@@ -560,6 +700,67 @@ mod tests {
             .find(|id| !route.contains(id))
             .expect("k=4 has 20 switches");
         assert!(sim.query_postcard(off_route, &tuple).is_none());
+    }
+
+    #[test]
+    fn scheduled_crash_is_detected_and_failed_over() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 10,
+            collectors: 4,
+            faults: vec![CollectorFault {
+                index: 1,
+                after_frames: 200,
+                kind: FaultKind::Crash,
+                recover_after: None,
+            }],
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(400).unwrap();
+        // The monitor must have noticed by now.
+        assert!(!sim.liveness_mask().is_live(1), "crash went undetected");
+        let report = sim.query_all(2);
+        // Frames crafted between the crash and its detection died at the
+        // crashed host, with the right reason on the books.
+        assert!(report.fault_drops[1].crashed > 0, "no crash drops logged");
+        assert!(report.drop_histograms[1]
+            .iter()
+            .any(|&(r, n)| r == DropReason::CollectorDown && n > 0));
+        // Never a wrong answer — lost writes read as empty/unreachable.
+        assert_eq!(report.error, 0);
+        // Flows reported after detection failed over and stay queryable,
+        // so the overall rate remains high.
+        assert!(
+            report.success_rate() > 0.8,
+            "success {} too low after failover",
+            report.success_rate()
+        );
+    }
+
+    #[test]
+    fn recovery_restores_full_health() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            slots: 1 << 10,
+            collectors: 4,
+            faults: vec![CollectorFault {
+                index: 2,
+                after_frames: 100,
+                kind: FaultKind::Blackhole,
+                recover_after: Some(300),
+            }],
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(600).unwrap();
+        // Blackhole fired, was detected, then cleared and re-detected.
+        assert!(sim.liveness_mask().is_live(2), "recovery went undetected");
+        assert_eq!(
+            sim.cluster().health(2),
+            dta_collector::CollectorHealth::Healthy
+        );
+        let report = sim.query_all(2);
+        assert!(report.fault_drops[2].blackholed > 0);
+        assert_eq!(report.error, 0);
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Collector-failure chaos suite: crash, blackhole and degrade faults
+//! under link loss, with switch-side failover and recovery.
+//!
+//! The robustness contract under test: collector failures may lose
+//! telemetry (reads go empty) and may be *unanswerable* during the
+//! detection window, but they must never produce a wrong answer, and
+//! once the health monitor flips the liveness registers the failover
+//! hash must keep new telemetry flowing and queryable.
+
+use direct_telemetry_access::collector::{CollectorCluster, CollectorHealth};
+use direct_telemetry_access::core::config::DartConfig;
+use direct_telemetry_access::core::hash::MappingKind;
+use direct_telemetry_access::core::query::QueryOutcome;
+use direct_telemetry_access::rdma::link::FaultModel;
+use direct_telemetry_access::rdma::nic::DropReason;
+use direct_telemetry_access::switch::control_plane::ControlPlane;
+use direct_telemetry_access::switch::egress::{DartEgress, EgressConfig};
+use direct_telemetry_access::switch::SwitchIdentity;
+use direct_telemetry_access::topology::sim::{
+    CollectorFault, FatTreeSim, FaultKind, SimConfig, SimReport,
+};
+use direct_telemetry_access::wire::dart::{ChecksumWidth, SlotLayout};
+
+const CRASHED: u32 = 1;
+
+fn chaos_config(faults: Vec<CollectorFault>) -> SimConfig {
+    SimConfig {
+        slots: 1 << 10,
+        collectors: 4,
+        fault: FaultModel::Bernoulli { loss: 0.1 },
+        faults,
+        seed: 0xC7A0,
+        ..SimConfig::default()
+    }
+}
+
+fn run(faults: Vec<CollectorFault>, flows: u64) -> (FatTreeSim, SimReport) {
+    let mut sim = FatTreeSim::new(chaos_config(faults)).unwrap();
+    sim.run_flows(flows).unwrap();
+    let report = sim.query_all(4);
+    (sim, report)
+}
+
+/// The acceptance scenario: 4 collectors under 10% link loss, one
+/// crashed mid-run. Queries must keep ≥ 90% of the healthy-run success
+/// rate, with exactly zero wrong answers throughout.
+#[test]
+fn crash_under_loss_meets_the_failover_bar() {
+    let (_, healthy) = run(Vec::new(), 1000);
+    assert_eq!(healthy.error, 0);
+    assert_eq!(healthy.unreachable, 0);
+
+    let (sim, chaos) = run(
+        vec![CollectorFault {
+            index: CRASHED,
+            after_frames: 300,
+            kind: FaultKind::Crash,
+            recover_after: None,
+        }],
+        1000,
+    );
+    // The monitor flipped the liveness registers.
+    assert!(!sim.liveness_mask().is_live(CRASHED), "crash undetected");
+    // Zero wrong answers, ever. Lost telemetry reads empty instead.
+    assert_eq!(chaos.error, 0);
+    // At query time failover covers every key: the dead collector's
+    // share is answerable from its survivors, so nothing is unreachable.
+    assert_eq!(chaos.unreachable, 0);
+    // Frames crafted between the crash and its detection died at the
+    // crashed host, and the histogram says exactly why.
+    assert!(chaos.fault_drops[CRASHED as usize].crashed > 0);
+    assert!(chaos.drop_histograms[CRASHED as usize]
+        .iter()
+        .any(|&(r, n)| r == DropReason::CollectorDown && n > 0));
+    // The bar: ≥ 90% of the healthy-run success rate.
+    assert!(
+        chaos.success_rate() >= 0.9 * healthy.success_rate(),
+        "chaos {} vs healthy {}",
+        chaos.success_rate(),
+        healthy.success_rate()
+    );
+}
+
+/// During the detection window a crashed collector's keys surface as
+/// *unreachable* (a typed error) — never as a silent wrong answer.
+#[test]
+fn detection_window_errors_are_typed_not_wrong() {
+    let mut sim = FatTreeSim::new(chaos_config(Vec::new())).unwrap();
+    let mut tuples = Vec::new();
+    for _ in 0..200 {
+        tuples.push(sim.run_flow().unwrap());
+    }
+    // Crash outside the schedule so the monitor has not noticed yet.
+    sim.cluster_mut()
+        .set_health(CRASHED, CollectorHealth::Crashed);
+    let mut unreachable = 0;
+    for tuple in &tuples {
+        match sim.try_query_flow(tuple) {
+            Err(_) => unreachable += 1,
+            Ok(QueryOutcome::Answer(_)) | Ok(QueryOutcome::Empty) => {}
+        }
+    }
+    // Roughly a quarter of the keys live on the crashed collector.
+    assert!(
+        (20..=100).contains(&unreachable),
+        "unreachable count {unreachable} out of band"
+    );
+}
+
+/// Blackhole: the NIC eats frames but the host answers queries, so
+/// pre-fault telemetry stays readable the whole time.
+#[test]
+fn blackholed_collector_keeps_serving_old_telemetry() {
+    let (sim, report) = run(
+        vec![CollectorFault {
+            index: CRASHED,
+            after_frames: 600,
+            kind: FaultKind::Blackhole,
+            recover_after: None,
+        }],
+        600,
+    );
+    assert!(
+        !sim.liveness_mask().is_live(CRASHED),
+        "blackhole undetected"
+    );
+    assert_eq!(report.error, 0);
+    // The host is reachable: nothing is unreachable, and frames died
+    // with the blackhole reason.
+    assert_eq!(report.unreachable, 0);
+    assert!(report.fault_drops[CRASHED as usize].blackholed > 0);
+    assert!(report.drop_histograms[CRASHED as usize]
+        .iter()
+        .any(|&(r, n)| r == DropReason::Blackholed && n > 0));
+}
+
+/// Degrade: a lossy last hop loses some telemetry but redundancy keeps
+/// success high and answers correct.
+#[test]
+fn degraded_link_loses_frames_not_correctness() {
+    let (_, report) = run(
+        vec![CollectorFault {
+            index: CRASHED,
+            after_frames: 100,
+            kind: FaultKind::Degrade { loss: 0.5 },
+            recover_after: None,
+        }],
+        800,
+    );
+    assert_eq!(report.error, 0);
+    assert!(report.fault_drops[CRASHED as usize].degraded > 0);
+    assert!(
+        report.success_rate() > 0.8,
+        "success {}",
+        report.success_rate()
+    );
+}
+
+/// Crash, recover with wiped memory, keep running: the recovered
+/// collector is re-detected as live and the run ends healthy.
+#[test]
+fn crash_recovery_cycle_ends_healthy() {
+    let (sim, report) = run(
+        vec![CollectorFault {
+            index: CRASHED,
+            after_frames: 300,
+            kind: FaultKind::Crash,
+            recover_after: Some(400),
+        }],
+        1000,
+    );
+    assert!(
+        sim.liveness_mask().is_live(CRASHED),
+        "recovery went undetected"
+    );
+    assert_eq!(sim.cluster().health(CRASHED), CollectorHealth::Healthy);
+    assert_eq!(report.error, 0);
+    assert!(
+        report.success_rate() > 0.7,
+        "success {}",
+        report.success_rate()
+    );
+}
+
+// ---------------------------------------------------------------------
+// Direct switch+cluster scenarios: staleness semantics around a fault.
+// ---------------------------------------------------------------------
+
+const VALUE_LEN: usize = 20;
+
+/// One switch egress wired to a 2-collector cluster.
+fn switch_and_cluster() -> (DartEgress, CollectorCluster) {
+    let config = DartConfig::builder()
+        .slots(1024)
+        .copies(2)
+        .checksum(ChecksumWidth::B32)
+        .value_len(VALUE_LEN)
+        .collectors(2)
+        .mapping(MappingKind::Crc)
+        .build()
+        .unwrap();
+    let mut cluster = CollectorCluster::new(config).unwrap();
+    let directory = cluster.directory_for_switch();
+    let mut egress = DartEgress::new(
+        SwitchIdentity::derived(1),
+        EgressConfig {
+            copies: 2,
+            slots: 1024,
+            layout: SlotLayout {
+                checksum: ChecksumWidth::B32,
+                value_len: VALUE_LEN,
+            },
+            collectors: 2,
+            udp_src_port: 49152,
+        },
+        7,
+    )
+    .unwrap();
+    ControlPlane::new()
+        .install_directory(&mut egress, &directory)
+        .unwrap();
+    (egress, cluster)
+}
+
+fn write(egress: &mut DartEgress, cluster: &mut CollectorCluster, key: &[u8], value: &[u8]) {
+    for copy in 0..2 {
+        let report = egress.craft_report_copy(key, value, copy).unwrap();
+        cluster.deliver(&report.frame);
+    }
+}
+
+/// Flip one collector's liveness everywhere the mask lives: the switch
+/// registers and the query side (what the monitor's push does).
+fn flip_liveness(egress: &mut DartEgress, cluster: &mut CollectorCluster, id: u32, live: bool) {
+    egress.set_collector_liveness(id, live).unwrap();
+    let mut mask = cluster.liveness_mask();
+    mask.set_live(id, live);
+    cluster.set_liveness_mask(mask);
+}
+
+/// The wiped-memory guarantee: after a crash restart, a key re-written
+/// post-recovery answers with the new value and the pre-crash value is
+/// never seen again.
+#[test]
+fn recovery_never_serves_stale_pre_crash_values() {
+    let (mut egress, mut cluster) = switch_and_cluster();
+    let key = b"stale-check-key";
+    let primary = cluster.collector_of(key);
+
+    let v1 = [0x11; VALUE_LEN];
+    write(&mut egress, &mut cluster, key, &v1);
+    assert_eq!(cluster.query(key), QueryOutcome::Answer(v1.to_vec()));
+
+    // Crash + detection.
+    cluster.set_health(primary, CollectorHealth::Crashed);
+    flip_liveness(&mut egress, &mut cluster, primary, false);
+
+    // Writes during the outage land at the failover target and answer.
+    let v2 = [0x22; VALUE_LEN];
+    write(&mut egress, &mut cluster, key, &v2);
+    assert_eq!(cluster.query(key), QueryOutcome::Answer(v2.to_vec()));
+
+    // Recovery wipes the crashed host; the control plane revives it.
+    cluster.recover(primary);
+    flip_liveness(&mut egress, &mut cluster, primary, true);
+
+    // The pre-crash value is gone with the wipe. (The outage-era value
+    // is stranded at the failover target until re-replication lands —
+    // a documented gap — but *stale* data must never surface.)
+    assert_eq!(cluster.query(key), QueryOutcome::Empty);
+
+    // Re-written post-recovery: the fresh value, nothing older.
+    let v3 = [0x33; VALUE_LEN];
+    write(&mut egress, &mut cluster, key, &v3);
+    assert_eq!(cluster.query(key), QueryOutcome::Answer(v3.to_vec()));
+}
+
+/// Freshness ordering while blackholed: the primary still holds (and
+/// would serve) the old value, but the mask routes writes to the
+/// failover target — so reads must prefer it too.
+#[test]
+fn failover_reads_shadow_stale_blackholed_primary() {
+    let (mut egress, mut cluster) = switch_and_cluster();
+    let key = b"freshness-key";
+    let primary = cluster.collector_of(key);
+
+    let v1 = [0xAA; VALUE_LEN];
+    write(&mut egress, &mut cluster, key, &v1);
+
+    // Blackhole: host up (still answers queries!) but NIC dead.
+    cluster.set_health(primary, CollectorHealth::Blackholed);
+    flip_liveness(&mut egress, &mut cluster, primary, false);
+
+    let v2 = [0xBB; VALUE_LEN];
+    write(&mut egress, &mut cluster, key, &v2);
+
+    // Both locations are reachable; the failover target is fresher and
+    // must win. Returning v1 here would be a stale read.
+    assert_eq!(cluster.query(key), QueryOutcome::Answer(v2.to_vec()));
+}
+
+// ---------------------------------------------------------------------
+// Soak scenarios (slow; run with `cargo test --release -- --ignored`).
+// ---------------------------------------------------------------------
+
+/// Long crash/recover cycles under combined loss + reordering.
+#[test]
+#[ignore = "chaos soak: long-running, exercised by the chaos-soak CI job"]
+fn soak_crash_cycles_under_lossy_reordering() {
+    let mut sim = FatTreeSim::new(SimConfig {
+        slots: 1 << 12,
+        collectors: 4,
+        fault: FaultModel::LossyReorder {
+            loss: 0.05,
+            prob: 0.2,
+        },
+        // Two crash/wipe cycles per collector, all inside the first 40%
+        // of the run: the tail measures how collection recovers.
+        faults: (0..8u64)
+            .map(|i| CollectorFault {
+                index: (i % 4) as u32,
+                after_frames: 400 + i * 450,
+                kind: FaultKind::Crash,
+                recover_after: Some(400),
+            })
+            .collect(),
+        seed: 0x50AC,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.run_flows(5000).unwrap();
+    let report = sim.query_all(8);
+    assert_eq!(report.error, 0, "soak produced wrong answers");
+    // Every crash wipes that collector, so telemetry from before its
+    // last restart is *supposed* to be gone (~40% of the run's keys);
+    // everything written after the last recovery must survive.
+    assert!(
+        report.success_rate() > 0.5,
+        "soak success {} collapsed",
+        report.success_rate()
+    );
+    let last = *report.age_buckets.last().unwrap();
+    assert!(
+        last > 0.9,
+        "post-recovery telemetry must be queryable, newest bucket {last}"
+    );
+    // Every collector took crash damage at some point.
+    for id in 0..4 {
+        assert!(report.fault_drops[id].crashed > 0, "collector {id} unhurt");
+    }
+    // All recovered by the end.
+    for id in 0..4u32 {
+        assert_eq!(sim.cluster().health(id), CollectorHealth::Healthy);
+        assert!(sim.liveness_mask().is_live(id));
+    }
+}
+
+/// Bursty (Gilbert-Elliott) loss with a mid-run blackhole.
+#[test]
+#[ignore = "chaos soak: long-running, exercised by the chaos-soak CI job"]
+fn soak_bursty_loss_with_blackhole() {
+    let mut sim = FatTreeSim::new(SimConfig {
+        slots: 1 << 12,
+        collectors: 4,
+        fault: FaultModel::GilbertElliott {
+            to_bad: 0.02,
+            to_good: 0.3,
+            loss_good: 0.01,
+            loss_bad: 0.6,
+        },
+        faults: vec![CollectorFault {
+            index: 2,
+            after_frames: 2000,
+            kind: FaultKind::Blackhole,
+            recover_after: Some(1500),
+        }],
+        seed: 0xB0B5,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.run_flows(4000).unwrap();
+    let report = sim.query_all(8);
+    assert_eq!(report.error, 0);
+    assert!(report.link.burst_drops > 0, "bursty loss never burst");
+    assert!(report.fault_drops[2].blackholed > 0);
+    assert!(
+        report.success_rate() > 0.7,
+        "soak success {}",
+        report.success_rate()
+    );
+}

@@ -1,0 +1,178 @@
+//! 24-bit PSN wraparound and duplicate-frame handling.
+//!
+//! RoCE PSNs live in a 24-bit circular space: a long-lived switch QP
+//! wraps from `0xFF_FFFF` back to `0`, and everything downstream —
+//! signed distance, UC gap accounting, duplicate rejection — must treat
+//! the wrap as one more increment, not a 16-million-packet rewind.
+
+use direct_telemetry_access::collector::CollectorCluster;
+use direct_telemetry_access::core::config::DartConfig;
+use direct_telemetry_access::core::hash::MappingKind;
+use direct_telemetry_access::rdma::link::{link, FaultModel};
+use direct_telemetry_access::switch::control_plane::ControlPlane;
+use direct_telemetry_access::switch::egress::{DartEgress, EgressConfig};
+use direct_telemetry_access::switch::SwitchIdentity;
+use direct_telemetry_access::topology::sim::{FatTreeSim, SimConfig};
+use direct_telemetry_access::wire::dart::{ChecksumWidth, SlotLayout};
+use direct_telemetry_access::wire::roce::Psn;
+
+#[test]
+fn distance_is_circular_across_the_wrap() {
+    let top = Psn::new(Psn::MODULUS - 1); // 0xFF_FFFF
+    let zero = Psn::new(0);
+    // 0 is one *ahead* of 0xFF_FFFF, not 16M behind.
+    assert_eq!(zero.distance(top), 1);
+    assert_eq!(top.distance(zero), -1);
+    // Gaps across the wrap keep their true size.
+    assert_eq!(Psn::new(4).distance(Psn::new(Psn::MODULUS - 3)), 7);
+    // next()/add() wrap too.
+    assert_eq!(top.next(), zero);
+    assert_eq!(Psn::new(Psn::MODULUS - 2).add(5), Psn::new(3));
+    // Half the space away is the signed boundary.
+    assert_eq!(
+        Psn::new(Psn::MODULUS / 2).distance(zero),
+        -(Psn::MODULUS as i32 / 2)
+    );
+}
+
+const VALUE_LEN: usize = 20;
+
+/// One egress + cluster pair whose switch QP starts at `start_psn`;
+/// also returns that QP's number for counter inspection.
+fn rig(start_psn: Psn) -> (DartEgress, CollectorCluster, u32) {
+    let config = DartConfig::builder()
+        .slots(1024)
+        .copies(2)
+        .checksum(ChecksumWidth::B32)
+        .value_len(VALUE_LEN)
+        .collectors(1)
+        .mapping(MappingKind::Crc)
+        .build()
+        .unwrap();
+    let mut cluster = CollectorCluster::new(config).unwrap();
+    let directory = cluster.directory_for_switch_from(start_psn);
+    let mut egress = DartEgress::new(
+        SwitchIdentity::derived(1),
+        EgressConfig {
+            copies: 2,
+            slots: 1024,
+            layout: SlotLayout {
+                checksum: ChecksumWidth::B32,
+                value_len: VALUE_LEN,
+            },
+            collectors: 1,
+            udp_src_port: 49152,
+        },
+        7,
+    )
+    .unwrap();
+    ControlPlane::new()
+        .install_directory(&mut egress, &directory)
+        .unwrap();
+    let qpn = directory[0].qpn;
+    (egress, cluster, qpn)
+}
+
+/// A QP readied just below the modulus receives a run of frames across
+/// the wrap with zero PSN drops and zero phantom gaps.
+#[test]
+fn uc_receive_path_is_seamless_across_the_wrap() {
+    let (mut egress, mut cluster, _qpn) = rig(Psn::new(Psn::MODULUS - 3));
+    for i in 0u8..4 {
+        let key = [i; 8];
+        for copy in 0..2 {
+            let report = egress
+                .craft_report_copy(&key, &[i; VALUE_LEN], copy)
+                .unwrap();
+            cluster.deliver(&report.frame);
+        }
+    }
+    // 8 frames spanning 0xFF_FFFD..=0x000004: all accepted in sequence.
+    let nic = cluster.collector(0).unwrap().nic_counters();
+    assert_eq!(nic.writes, 8);
+    assert_eq!(nic.psn, 0, "wrap misread as stale PSNs");
+    // The egress register wrapped with them.
+    let next = egress
+        .craft_report_copy(&[9; 8], &[9; VALUE_LEN], 0)
+        .unwrap();
+    assert_eq!(next.psn, Psn::new(5));
+}
+
+/// UC gap accounting stays exact when the lost frames straddle the
+/// wrap: dropping frames 0xFF_FFFE..0x000001 then delivering 0x000002
+/// books a gap of 4, not a duplicate.
+#[test]
+fn uc_gap_accounting_spans_the_wrap() {
+    let (mut egress, mut cluster, qpn) = rig(Psn::new(Psn::MODULUS - 2));
+    let mut reports = Vec::new();
+    for i in 0u8..3 {
+        for copy in 0..2 {
+            reports.push(
+                egress
+                    .craft_report_copy(&[i; 8], &[i; VALUE_LEN], copy)
+                    .unwrap(),
+            );
+        }
+    }
+    // PSNs 0xFF_FFFE, 0xFF_FFFF, 0, 1, 2, 3. Deliver only the first and
+    // last: the receiver must resynchronize across the wrap.
+    cluster.deliver(&reports[0].frame);
+    cluster.deliver(&reports[5].frame);
+    let collector = cluster.collector(0).unwrap();
+    assert_eq!(collector.nic_counters().writes, 2);
+    assert_eq!(collector.nic_counters().psn, 0);
+    assert_eq!(
+        collector.qp_counters(qpn).map(|c| c.psn_gaps),
+        Some(4),
+        "gap across the wrap must count the 4 lost frames"
+    );
+}
+
+/// The duplicate satellite: a duplicating link delivers every frame
+/// twice; the UC receive path must apply each write once and drop the
+/// replays as stale PSNs.
+#[test]
+fn duplicated_frames_are_dropped_not_double_applied() {
+    let (mut egress, mut cluster, _qpn) = rig(Psn::new(0));
+    let (mut tx, rx) = link(FaultModel::Duplicate { prob: 1.0 }, 0xD0B1);
+    let frames = 6u64;
+    for i in 0..frames {
+        let report = egress
+            .craft_report_copy(&[i as u8; 8], &[i as u8; VALUE_LEN], 0)
+            .unwrap();
+        tx.send(report.frame);
+    }
+    tx.flush();
+    while let Some(frame) = rx.try_recv() {
+        cluster.deliver(&frame);
+    }
+    assert_eq!(tx.stats().duplicated, frames, "link must have duplicated");
+    let nic = cluster.collector(0).unwrap().nic_counters();
+    // Each distinct frame applied exactly once; each replay rejected by
+    // its stale PSN.
+    assert_eq!(nic.writes, frames);
+    assert_eq!(nic.psn, frames);
+}
+
+/// End to end: a fat-tree run whose switch QPs all start 16 frames shy
+/// of the modulus, so every busy QP crosses the wrap mid-run.
+#[test]
+fn fattree_run_crosses_the_wrap_unharmed() {
+    let mut sim = FatTreeSim::new(SimConfig {
+        slots: 1 << 12,
+        initial_psn: Psn::MODULUS - 16,
+        seed: 0x24B1,
+        ..SimConfig::default()
+    })
+    .unwrap();
+    sim.run_flows(300).unwrap();
+    let report = sim.query_all(2);
+    assert_eq!(report.error, 0);
+    assert!(
+        report.success_rate() > 0.98,
+        "success {}",
+        report.success_rate()
+    );
+    // No frame was misjudged stale by the wrap.
+    assert_eq!(sim.cluster().collector(0).unwrap().nic_counters().psn, 0);
+}
