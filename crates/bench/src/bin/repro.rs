@@ -8,7 +8,8 @@
 //! paper's 100 M-flow setting corresponds to `--scale 1000`, which the
 //! scale-invariance tests show is unnecessary for matching rates).
 //! `--out DIR` additionally writes each target's output to
-//! `DIR/<target>.md`.
+//! `DIR/<target>.md`; the `e2e` target also drops `DIR/BENCH_e2e.json`,
+//! a JSONL snapshot of throughput and every lifecycle metric.
 
 use std::env;
 use std::fs;
@@ -20,7 +21,7 @@ const TARGETS: &[&str] = &[
     "fig1a", "fig1b", "fig3", "fig4", "fig5", "table1", "cas", "theory", "e2e", "ext",
 ];
 
-fn render(target: &str, scale: Scale, seed: u64) -> Option<String> {
+fn render(target: &str, scale: Scale, seed: u64, out_dir: Option<&PathBuf>) -> Option<String> {
     let mut out = String::new();
     match target {
         "fig1a" => out.push_str(&fig1::fig1a_table()),
@@ -48,7 +49,15 @@ fn render(target: &str, scale: Scale, seed: u64) -> Option<String> {
         }
         "e2e" => {
             let slots = (1u64 << 13) * scale.0;
-            out.push_str(&e2e::e2e_table(&e2e::run_sweep(slots, seed)));
+            let bench = e2e::run_bench(slots, seed);
+            out.push_str(&e2e::e2e_table(&bench.points));
+            if let Some(dir) = out_dir {
+                let path = dir.join("BENCH_e2e.json");
+                if let Err(e) = fs::write(&path, e2e::bench_jsonl(&bench)) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
         }
         "ext" => {
             out.push_str(&ext::adaptive_table());
@@ -111,7 +120,7 @@ fn main() {
 
     let seed = 0xDA27_2021u64;
     for target in &targets {
-        let Some(output) = render(target, scale, seed) else {
+        let Some(output) = render(target, scale, seed, out_dir.as_ref()) else {
             eprintln!("unknown target '{target}', see --help");
             std::process::exit(2);
         };

@@ -9,6 +9,7 @@
 //! mis-parsed header, a biased CRC, a broken PSN) shows up here as a
 //! divergence.
 
+use dta_obs::Obs;
 use dta_rdma::link::FaultModel;
 use dta_topology::sim::{FatTreeSim, ReportMode, SimConfig, SimReport};
 
@@ -29,17 +30,26 @@ pub struct E2ePoint {
 
 /// Run the fat-tree experiment at the given load.
 pub fn run_e2e(alpha: f64, slots: u64, seed: u64) -> E2ePoint {
+    run_e2e_with_obs(alpha, slots, seed, Obs::noop())
+}
+
+/// Like [`run_e2e`], reporting every stage into `obs` (share one handle
+/// across a sweep to accumulate a whole-run registry).
+pub fn run_e2e_with_obs(alpha: f64, slots: u64, seed: u64, obs: Obs) -> E2ePoint {
     let flows = (alpha * slots as f64).round() as u64;
-    let mut sim = FatTreeSim::new(SimConfig {
-        k: 4,
-        slots,
-        copies: 2,
-        collectors: 1,
-        fault: FaultModel::Perfect,
-        mode: ReportMode::AllCopies,
-        seed,
-        ..SimConfig::default()
-    })
+    let mut sim = FatTreeSim::new_with_obs(
+        SimConfig {
+            k: 4,
+            slots,
+            copies: 2,
+            collectors: 1,
+            fault: FaultModel::Perfect,
+            mode: ReportMode::AllCopies,
+            seed,
+            ..SimConfig::default()
+        },
+        obs,
+    )
     .expect("valid sim config");
     sim.run_flows(flows).expect("flows run");
     let report: SimReport = sim.query_all(10);
@@ -57,6 +67,60 @@ pub fn run_sweep(slots: u64, seed: u64) -> Vec<E2ePoint> {
         .iter()
         .map(|&alpha| run_e2e(alpha, slots, seed))
         .collect()
+}
+
+/// An instrumented sweep: the sweep points plus wall-clock throughput
+/// and the accumulated observability registry, ready for
+/// `BENCH_e2e.json`.
+#[derive(Debug)]
+pub struct E2eBench {
+    /// The sweep results.
+    pub points: Vec<E2ePoint>,
+    /// Total flows simulated across the sweep.
+    pub flows: u64,
+    /// Wall-clock duration of the sweep in seconds.
+    pub elapsed_secs: f64,
+    /// The shared observability handle (all stages reported here).
+    pub obs: Obs,
+}
+
+/// Run the standard sweep with a shared live registry and measure
+/// wall-clock throughput.
+pub fn run_bench(slots: u64, seed: u64) -> E2eBench {
+    let obs = Obs::new();
+    let start = std::time::Instant::now();
+    let points: Vec<E2ePoint> = [0.25f64, 0.5, 1.0, 2.0]
+        .iter()
+        .map(|&alpha| run_e2e_with_obs(alpha, slots, seed, obs.clone()))
+        .collect();
+    let elapsed_secs = start.elapsed().as_secs_f64();
+    let flows: u64 = [0.25f64, 0.5, 1.0, 2.0]
+        .iter()
+        .map(|&alpha| (alpha * slots as f64).round() as u64)
+        .sum();
+    let registry = obs.registry();
+    registry.counter("bench_e2e_flows_total").add(flows);
+    registry
+        .gauge("bench_e2e_elapsed_ms")
+        .set((elapsed_secs * 1_000.0) as i64);
+    if elapsed_secs > 0.0 {
+        registry
+            .gauge("bench_e2e_flows_per_sec")
+            .set((flows as f64 / elapsed_secs) as i64);
+    }
+    E2eBench {
+        points,
+        flows,
+        elapsed_secs,
+        obs,
+    }
+}
+
+/// The `BENCH_e2e.json` payload: one JSON object per line for every
+/// registered metric (throughput, per-stage lifecycle counters, and the
+/// §5 outcome tallies `query_all` folded in).
+pub fn bench_jsonl(bench: &E2eBench) -> String {
+    dta_obs::export::render_jsonl(&bench.obs.registry().snapshot())
 }
 
 /// Render the sweep.
@@ -107,5 +171,26 @@ mod tests {
     fn table_renders() {
         let t = e2e_table(&[run_e2e(0.25, 1 << 10, 1)]);
         assert!(t.contains("NIC writes"));
+    }
+
+    #[test]
+    fn bench_jsonl_round_trips_and_carries_throughput() {
+        let bench = run_bench(1 << 9, 3);
+        assert_eq!(bench.points.len(), 4);
+        let json = bench_jsonl(&bench);
+        assert!(json.contains("bench_e2e_flows_total"));
+        assert!(json.contains("dta_sim_queries_correct_total"));
+        assert!(json.contains("dta_nic_writes_fresh_total"));
+        let parsed = dta_obs::export::parse_jsonl(&json).expect("own output parses");
+        assert_eq!(parsed.len(), bench.obs.registry().snapshot().len());
+        let flows = parsed
+            .iter()
+            .find(|m| m.name == "bench_e2e_flows_total")
+            .expect("throughput metric present");
+        assert_eq!(
+            flows.value,
+            dta_obs::MetricValue::Counter(bench.flows),
+            "flows metric round-trips"
+        );
     }
 }

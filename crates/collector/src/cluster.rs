@@ -16,7 +16,9 @@
 use dta_core::config::DartConfig;
 use dta_core::hash::{failover_collector, AddressMapping, FailoverTarget, LivenessMask};
 use dta_core::query::{QueryOutcome, ReturnPolicy};
+use dta_core::store::StoreExplain;
 use dta_core::DartError;
+use dta_obs::{Counter, EventKind, Obs};
 use dta_rdma::nic::{DropReason, RxAction, RxOutcome};
 use dta_rdma::verbs::RemoteEndpoint;
 use dta_wire::{ethernet, ipv4};
@@ -71,6 +73,18 @@ impl FaultDrops {
     pub fn total(&self) -> u64 {
         self.crashed + self.blackholed + self.degraded
     }
+
+    /// Drops attributed to one [`DropReason`]. Only the three
+    /// fabric-level reasons live here; every NIC-owned reason reads zero
+    /// (those are counted by [`dta_rdma::nic::NicCounters`]).
+    pub fn count(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::CollectorDown => self.crashed,
+            DropReason::Blackholed => self.blackholed,
+            DropReason::DegradedLink => self.degraded,
+            _ => 0,
+        }
+    }
 }
 
 /// A query failed because no collector holding the key was reachable.
@@ -96,6 +110,81 @@ impl core::fmt::Display for QueryError {
 
 impl std::error::Error for QueryError {}
 
+/// How the cluster routed a query under the current liveness mask —
+/// the query-side half of the failover contract, made visible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRouting {
+    /// The primary was marked live and was consulted directly.
+    Primary(
+        /// The primary collector.
+        u32,
+    ),
+    /// The primary was marked dead; the failover target was read first,
+    /// the primary second.
+    Failover {
+        /// The dead primary.
+        primary: u32,
+        /// The live collector reads were redirected to.
+        target: u32,
+    },
+    /// No collector was marked live; the primary was tried anyway.
+    NoneLive(
+        /// The primary collector.
+        u32,
+    ),
+}
+
+/// One candidate location consulted (or skipped) by a cluster query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateProbe {
+    /// The collector consulted.
+    pub collector: u32,
+    /// Whether operator queries could reach the host at all.
+    pub reachable: bool,
+    /// The per-slot trace at this collector (`None` if unreachable, or
+    /// if an earlier candidate already answered).
+    pub explain: Option<StoreExplain>,
+}
+
+/// The full cluster-level trace of one query: §3.2's four steps plus
+/// failover routing, per-slot probes, and the policy decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterQueryExplain {
+    /// The collector the key hashes to (step 1).
+    pub key_collector: u32,
+    /// How the liveness mask routed the read.
+    pub routing: QueryRouting,
+    /// Candidates in read order (freshest first under failover).
+    pub candidates: Vec<CandidateProbe>,
+    /// Which collector produced the answer, if any.
+    pub answered_by: Option<u32>,
+    /// What the equivalent plain query would have returned.
+    pub outcome: Result<QueryOutcome, QueryError>,
+}
+
+/// Cached metric handles for an attached observability registry.
+struct ClusterObs {
+    obs: Obs,
+    writes_fresh: Counter,
+    writes_overwritten: Counter,
+    /// Per-reason drop counters, aligned with [`DropReason::ALL`].
+    drops: Vec<Counter>,
+    queries_answered: Counter,
+    queries_empty: Counter,
+    queries_unreachable: Counter,
+    recoveries: Counter,
+}
+
+impl ClusterObs {
+    fn drop_counter(&self, reason: DropReason) -> &Counter {
+        let index = DropReason::ALL
+            .iter()
+            .position(|&r| r == reason)
+            .expect("DropReason::ALL is exhaustive");
+        &self.drops[index]
+    }
+}
+
 /// A set of collectors sharing the DART key space.
 pub struct CollectorCluster {
     collectors: Vec<DartCollector>,
@@ -108,6 +197,7 @@ pub struct CollectorCluster {
     /// truth): between a fault and its detection the two disagree.
     liveness: LivenessMask,
     fault_rng: StdRng,
+    obs: Option<ClusterObs>,
 }
 
 impl CollectorCluster {
@@ -136,7 +226,30 @@ impl CollectorCluster {
             fault_drops: vec![FaultDrops::default(); total as usize],
             liveness: LivenessMask::all_live(total),
             fault_rng: StdRng::seed_from_u64(seed),
+            obs: None,
         })
+    }
+
+    /// Attach an observability handle: registers the cluster's write,
+    /// drop, query, and recovery counters and starts emitting lifecycle
+    /// events ([`EventKind::SlotWrite`], [`EventKind::NicDrop`],
+    /// [`EventKind::QueryProbe`], [`EventKind::QueryDecision`],
+    /// [`EventKind::Recovery`]) into its ring.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        let registry = obs.registry();
+        self.obs = Some(ClusterObs {
+            obs: obs.clone(),
+            writes_fresh: registry.counter("dta_nic_writes_fresh_total"),
+            writes_overwritten: registry.counter("dta_nic_writes_overwritten_total"),
+            drops: DropReason::ALL
+                .iter()
+                .map(|reason| registry.counter(&format!("dta_nic_drops_{}_total", reason.name())))
+                .collect(),
+            queries_answered: registry.counter("dta_cluster_queries_answered_total"),
+            queries_empty: registry.counter("dta_cluster_queries_empty_total"),
+            queries_unreachable: registry.counter("dta_cluster_queries_unreachable_total"),
+            recoveries: registry.counter("dta_cluster_recoveries_total"),
+        });
     }
 
     /// The collector directory, in dense collector-ID order — exactly
@@ -208,10 +321,18 @@ impl CollectorCluster {
     /// memory* — everything it held before the crash is gone; blackhole
     /// and degraded faults clear without data loss (the host never died).
     pub fn recover(&mut self, index: u32) {
-        if self.health[index as usize] == CollectorHealth::Crashed {
+        let wiped = self.health[index as usize] == CollectorHealth::Crashed;
+        if wiped {
             self.collectors[index as usize].wipe_memory();
         }
         self.health[index as usize] = CollectorHealth::Healthy;
+        if let Some(o) = &self.obs {
+            o.recoveries.inc();
+            o.obs.event(EventKind::Recovery {
+                collector: index as u8,
+                wiped,
+            });
+        }
     }
 
     /// Frames lost to injected faults at collector `index`.
@@ -291,37 +412,53 @@ impl CollectorCluster {
                     DropReason::Blackholed => drops.blackholed += 1,
                     _ => drops.degraded += 1,
                 }
+                if let Some(o) = &self.obs {
+                    o.drop_counter(reason).inc();
+                    o.obs.event(EventKind::NicDrop {
+                        collector: index as u8,
+                        reason: reason.name(),
+                    });
+                }
                 RxOutcome {
                     action: RxAction::Dropped(reason),
                     response: None,
                 }
             }
-            None => self.collectors[index].receive_frame(frame),
+            None => {
+                let outcome = self.collectors[index].receive_frame(frame);
+                if let Some(o) = &self.obs {
+                    match outcome.action {
+                        RxAction::WriteExecuted { va, len, fresh, .. } => {
+                            if fresh {
+                                o.writes_fresh.inc();
+                            } else {
+                                o.writes_overwritten.inc();
+                            }
+                            o.obs.event(EventKind::SlotWrite {
+                                collector: index as u8,
+                                va,
+                                len: len as u32,
+                                fresh,
+                            });
+                        }
+                        RxAction::Dropped(reason) => {
+                            o.drop_counter(reason).inc();
+                            o.obs.event(EventKind::NicDrop {
+                                collector: index as u8,
+                                reason: reason.name(),
+                            });
+                        }
+                        _ => {}
+                    }
+                }
+                outcome
+            }
         }
     }
 
     /// The collector ID responsible for `key`.
     pub fn collector_of(&self, key: &[u8]) -> u32 {
         self.mapping.collector(key, self.config.collectors)
-    }
-
-    /// The locations to read for `key` under the current liveness mask,
-    /// freshest first — the query-side half of the failover contract.
-    ///
-    /// While the mask marks the primary dead, new writes land at the
-    /// failover target, so it is read first and the primary second (it
-    /// may still answer for keys written before the fault). With the
-    /// primary marked live it receives all current writes and is
-    /// authoritative; stale failover locations are deliberately *not*
-    /// consulted then, so a value stranded there by a past outage can
-    /// never shadow the primary (re-replicating that data back is future
-    /// work — see ROADMAP).
-    fn read_candidates(&self, key: &[u8]) -> Vec<u32> {
-        match failover_collector(self.mapping.as_ref(), key, self.liveness) {
-            FailoverTarget::Primary(p) => vec![p],
-            FailoverTarget::Failover { primary, target } => vec![target, primary],
-            FailoverTarget::NoneLive => vec![self.collector_of(key)],
-        }
     }
 
     /// Query a key: hash to the owning collector, query locally there
@@ -354,23 +491,114 @@ impl CollectorCluster {
         key: &[u8],
         policy: ReturnPolicy,
     ) -> Result<QueryOutcome, QueryError> {
+        self.try_query_explain(key, policy).outcome
+    }
+
+    /// Explain a query under the configured default policy — see
+    /// [`CollectorCluster::try_query_explain`].
+    pub fn query_explain(&mut self, key: &[u8]) -> ClusterQueryExplain {
+        let policy = self.config.policy;
+        self.try_query_explain(key, policy)
+    }
+
+    /// Query under an explicit policy and narrate every step: the
+    /// collector the key hashes to, the failover routing the liveness
+    /// mask produced, each candidate's per-slot probes (which checksums
+    /// matched), and why the return policy answered or abstained.
+    ///
+    /// This *is* the query path — [`CollectorCluster::try_query_with_policy`]
+    /// is a thin wrapper over it — so the trace can never drift from the
+    /// answer operators actually received.
+    pub fn try_query_explain(&mut self, key: &[u8], policy: ReturnPolicy) -> ClusterQueryExplain {
+        let key_collector = self.collector_of(key);
+        let routing = match failover_collector(self.mapping.as_ref(), key, self.liveness) {
+            FailoverTarget::Primary(p) => QueryRouting::Primary(p),
+            FailoverTarget::Failover { primary, target } => {
+                QueryRouting::Failover { primary, target }
+            }
+            FailoverTarget::NoneLive => QueryRouting::NoneLive(key_collector),
+        };
+        // Read order is freshest-first — the query-side half of the
+        // failover contract. While the mask marks the primary dead, new
+        // writes land at the failover target, so it is read first and
+        // the primary second (it may still answer for keys written
+        // before the fault). With the primary marked live it receives
+        // all current writes and is authoritative; stale failover
+        // locations are deliberately *not* consulted then, so a value
+        // stranded there by a past outage can never shadow the primary
+        // (re-replicating that data back is future work — see ROADMAP).
+        let order = match routing {
+            QueryRouting::Primary(p) | QueryRouting::NoneLive(p) => vec![p],
+            QueryRouting::Failover { primary, target } => vec![target, primary],
+        };
+        let mut candidates = Vec::with_capacity(order.len());
+        let mut answered_by = None;
+        let mut answer = None;
         let mut any_reachable = false;
-        for id in self.read_candidates(key) {
-            if !self.health[id as usize].reachable() {
+        for id in order {
+            let reachable = self.health[id as usize].reachable();
+            if !reachable {
+                candidates.push(CandidateProbe {
+                    collector: id,
+                    reachable,
+                    explain: None,
+                });
                 continue;
             }
             any_reachable = true;
-            let outcome = self.collectors[id as usize].query_with_policy(key, policy);
-            if outcome.is_answer() {
-                return Ok(outcome);
+            let explain = self.collectors[id as usize].query_explain_with_policy(key, policy);
+            if let Some(o) = &self.obs {
+                for probe in &explain.probes {
+                    o.obs.event(EventKind::QueryProbe {
+                        collector: id as u8,
+                        copy: probe.copy,
+                        slot: probe.slot,
+                        occupied: probe.occupied,
+                        matched: probe.checksum_matched,
+                    });
+                }
+                o.obs.event(EventKind::QueryDecision {
+                    collector: id as u8,
+                    reason: explain.reason.name(),
+                    answered: explain.outcome.is_answer(),
+                });
+            }
+            let is_answer = explain.outcome.is_answer();
+            if is_answer && answer.is_none() {
+                answered_by = Some(id);
+                answer = Some(explain.outcome.clone());
+            }
+            candidates.push(CandidateProbe {
+                collector: id,
+                reachable,
+                explain: Some(explain),
+            });
+            if is_answer {
+                // The plain path stops at the first answering location;
+                // keep the trace identical.
+                break;
             }
         }
-        if any_reachable {
-            Ok(QueryOutcome::Empty)
-        } else {
-            Err(QueryError::CollectorUnreachable {
-                collector: self.collector_of(key),
-            })
+        let outcome = match answer {
+            Some(found) => Ok(found),
+            None if any_reachable => Ok(QueryOutcome::Empty),
+            None => Err(QueryError::CollectorUnreachable {
+                collector: key_collector,
+            }),
+        };
+        if let Some(o) = &self.obs {
+            match &outcome {
+                Ok(out) if out.is_answer() => o.queries_answered.inc(),
+                Ok(_) => o.queries_empty.inc(),
+                Err(_) => o.queries_unreachable.inc(),
+            }
+        }
+        ClusterQueryExplain {
+            key_collector,
+            routing,
+            candidates,
+            answered_by,
+            outcome,
         }
     }
 
@@ -389,22 +617,14 @@ impl CollectorCluster {
     pub fn drop_histogram(&self, index: u32) -> Vec<(DropReason, u64)> {
         let nic = self.collectors[index as usize].nic_counters();
         let fault = self.fault_drops[index as usize];
-        let all = [
-            (DropReason::NotForUs, nic.not_for_us),
-            (DropReason::Malformed, nic.malformed),
-            (DropReason::IpChecksum, nic.ip_checksum),
-            (DropReason::NotRoce, nic.not_roce),
-            (DropReason::Icrc, nic.icrc),
-            (DropReason::QpNotFound, nic.qp_not_found),
-            (DropReason::TransportMismatch, nic.transport_mismatch),
-            (DropReason::Psn, nic.psn),
-            (DropReason::BadRkey, nic.bad_rkey),
-            (DropReason::AccessViolation, nic.access_violations),
-            (DropReason::CollectorDown, fault.crashed),
-            (DropReason::Blackholed, fault.blackholed),
-            (DropReason::DegradedLink, fault.degraded),
-        ];
-        all.into_iter().filter(|&(_, n)| n > 0).collect()
+        // Iterating `DropReason::ALL` (instead of hand-enumerating the
+        // variants) keeps this exhaustive by construction: a new reason
+        // extends `ALL`, whose own test enforces full coverage.
+        DropReason::ALL
+            .iter()
+            .map(|&reason| (reason, nic.count(reason) + fault.count(reason)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
     }
 }
 
@@ -577,6 +797,204 @@ mod tests {
         // Host is up — queries reach it even though its NIC eats frames.
         assert_eq!(cluster.try_query(key), Ok(QueryOutcome::Empty));
         assert_eq!(cluster.collector(primary).unwrap().queries_served(), 1);
+    }
+
+    #[test]
+    fn fault_drop_counts_cover_exactly_the_fabric_reasons() {
+        let drops = FaultDrops {
+            crashed: 1,
+            blackholed: 2,
+            degraded: 3,
+        };
+        let total: u64 = DropReason::ALL.iter().map(|&r| drops.count(r)).sum();
+        assert_eq!(total, drops.total());
+        assert_eq!(drops.count(DropReason::CollectorDown), 1);
+        assert_eq!(drops.count(DropReason::Blackholed), 2);
+        assert_eq!(drops.count(DropReason::DegradedLink), 3);
+        assert_eq!(drops.count(DropReason::Psn), 0);
+    }
+
+    /// A well-formed RDMA WRITE landing `value` in `key`'s slot for
+    /// `copy` at collector `index` — what a switch would craft.
+    fn write_frame(
+        cluster: &CollectorCluster,
+        index: u32,
+        key: &[u8],
+        value: &[u8],
+        copy: u8,
+        psn: u32,
+    ) -> Vec<u8> {
+        use dta_core::hash::{AddressMapping, CrcMapping};
+        let mapping = CrcMapping::new();
+        let cfg = config(cluster.len() as u32);
+        let slot = mapping.slot(key, copy, cfg.slots);
+        let layout = cfg.layout;
+        let mut payload = vec![0u8; layout.slot_len()];
+        layout
+            .encode(mapping.key_checksum(key), value, &mut payload)
+            .unwrap();
+        let ep = cluster.collector(index).unwrap().endpoint();
+        dta_rdma::nic::build_roce_frame(
+            ethernet::Address([0x02, 0, 0, 0, 0, 9]),
+            ep.mac,
+            ipv4::Address([10, 0, 0, 9]),
+            ep.ip,
+            49152,
+            &dta_wire::roce::RoceRepr::Write {
+                bth: dta_wire::roce::BthRepr {
+                    opcode: dta_wire::roce::Opcode::UcRdmaWriteOnly,
+                    solicited: false,
+                    migration: true,
+                    pad_count: 0,
+                    partition_key: 0xFFFF,
+                    dest_qp: ep.qpn,
+                    ack_request: false,
+                    psn,
+                },
+                reth: dta_wire::roce::RethRepr {
+                    virtual_addr: ep.base_va + slot * layout.slot_len() as u64,
+                    rkey: ep.rkey,
+                    dma_len: layout.slot_len() as u32,
+                },
+                payload,
+            },
+        )
+    }
+
+    #[test]
+    fn obs_traces_drops_writes_queries_and_recovery() {
+        let obs = Obs::new();
+        let mut cluster = CollectorCluster::new(config(2)).unwrap();
+        cluster.attach_obs(&obs);
+        let key = b"obs-key";
+        let target = cluster.collector_of(key);
+
+        // A fresh write, then an overwrite of the same slot.
+        let frame = write_frame(&cluster, target, key, &[1u8; 20], 0, 0);
+        assert!(matches!(
+            cluster.deliver(&frame).action,
+            RxAction::WriteExecuted { fresh: true, .. }
+        ));
+        let frame = write_frame(&cluster, target, key, &[2u8; 20], 0, 1);
+        assert!(matches!(
+            cluster.deliver(&frame).action,
+            RxAction::WriteExecuted { fresh: false, .. }
+        ));
+        let registry = obs.registry();
+        assert_eq!(
+            registry.counter_value("dta_nic_writes_fresh_total"),
+            Some(1)
+        );
+        assert_eq!(
+            registry.counter_value("dta_nic_writes_overwritten_total"),
+            Some(1)
+        );
+        assert_eq!(obs.ring().events_named("slot_write").len(), 2);
+
+        // A query probes both copies and answers from the matching one.
+        let outcome = cluster
+            .try_query_with_policy(key, ReturnPolicy::FirstMatch)
+            .unwrap();
+        assert_eq!(outcome, QueryOutcome::Answer(vec![2u8; 20]));
+        assert_eq!(
+            registry.counter_value("dta_cluster_queries_answered_total"),
+            Some(1)
+        );
+        assert_eq!(obs.ring().events_named("query_probe").len(), 2);
+        let decisions = obs.ring().events_named("query_decision");
+        assert_eq!(decisions.len(), 1);
+        assert!(matches!(
+            decisions[0].kind,
+            EventKind::QueryDecision { answered: true, .. }
+        ));
+
+        // Crash the collector: fabric drops are counted per reason.
+        cluster.set_health(target, CollectorHealth::Crashed);
+        let frame = write_frame(&cluster, target, key, &[3u8; 20], 0, 2);
+        assert_eq!(
+            cluster.deliver(&frame).action,
+            RxAction::Dropped(DropReason::CollectorDown)
+        );
+        assert_eq!(
+            registry.counter_value("dta_nic_drops_collector_down_total"),
+            Some(1)
+        );
+        assert_eq!(obs.ring().events_named("nic_drop").len(), 1);
+
+        // Detection window: the query is unreachable, and says so.
+        assert!(cluster
+            .try_query_with_policy(key, ReturnPolicy::FirstMatch)
+            .is_err());
+        assert_eq!(
+            registry.counter_value("dta_cluster_queries_unreachable_total"),
+            Some(1)
+        );
+
+        // Recovery is logged with the wipe flag.
+        cluster.recover(target);
+        let recoveries = obs.ring().events_named("recovery");
+        assert_eq!(recoveries.len(), 1);
+        assert_eq!(
+            recoveries[0].kind,
+            EventKind::Recovery {
+                collector: target as u8,
+                wiped: true
+            }
+        );
+        assert_eq!(
+            registry.counter_value("dta_cluster_recoveries_total"),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn explain_narrates_failover_routing() {
+        let mut cluster = CollectorCluster::new(config(2)).unwrap();
+        let key = b"failover-key";
+        let primary = cluster.collector_of(key);
+        let survivor = 1 - primary;
+
+        // Healthy cluster: primary routing, both copies probed, empty.
+        let explain = cluster.query_explain(key);
+        assert_eq!(explain.key_collector, primary);
+        assert_eq!(explain.routing, QueryRouting::Primary(primary));
+        assert_eq!(explain.candidates.len(), 1);
+        let store = explain.candidates[0].explain.as_ref().unwrap();
+        assert_eq!(store.probes.len(), 2);
+        assert!(store.probes.iter().all(|p| !p.occupied));
+        assert_eq!(explain.outcome, Ok(QueryOutcome::Empty));
+        assert_eq!(explain.answered_by, None);
+
+        // Crash + mask flip: failover routing reads the survivor first
+        // and records the dead primary as unreachable.
+        cluster.set_health(primary, CollectorHealth::Crashed);
+        let mut mask = cluster.liveness_mask();
+        mask.set_live(primary, false);
+        cluster.set_liveness_mask(mask);
+        let explain = cluster.query_explain(key);
+        assert_eq!(
+            explain.routing,
+            QueryRouting::Failover {
+                primary,
+                target: survivor
+            }
+        );
+        assert_eq!(explain.candidates[0].collector, survivor);
+        assert!(explain.candidates[0].reachable);
+        assert_eq!(explain.candidates[1].collector, primary);
+        assert!(!explain.candidates[1].reachable);
+        assert!(explain.candidates[1].explain.is_none());
+        assert_eq!(explain.outcome, Ok(QueryOutcome::Empty));
+
+        // Detection window (mask still optimistic): the unreachable
+        // error is traced, not folded into Empty.
+        cluster.set_liveness_mask(LivenessMask::all_live(2));
+        let explain = cluster.query_explain(key);
+        assert_eq!(explain.routing, QueryRouting::Primary(primary));
+        assert_eq!(
+            explain.outcome,
+            Err(QueryError::CollectorUnreachable { collector: primary })
+        );
     }
 
     #[test]

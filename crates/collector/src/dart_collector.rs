@@ -7,7 +7,7 @@
 
 use dta_core::config::DartConfig;
 use dta_core::query::{QueryOutcome, ReturnPolicy};
-use dta_core::store::OwnedQueryEngine;
+use dta_core::store::{OwnedQueryEngine, StoreExplain};
 use dta_core::DartError;
 use dta_rdma::mr::{AccessFlags, MemoryHandle};
 use dta_rdma::nic::{NicCounters, RxOutcome};
@@ -129,6 +129,17 @@ impl DartCollector {
         self.queries += 1;
         self.handle
             .with(|memory| self.engine.query_with_policy(memory, key, policy))
+            .expect("region geometry matches config by construction")
+    }
+
+    /// Query a key under an explicit policy, returning the full §3.2
+    /// trace — which slots were probed, which checksums matched, and why
+    /// the return policy answered or abstained — instead of just the
+    /// outcome.
+    pub fn query_explain_with_policy(&mut self, key: &[u8], policy: ReturnPolicy) -> StoreExplain {
+        self.queries += 1;
+        self.handle
+            .with(|memory| self.engine.query_explain(memory, key, policy))
             .expect("region geometry matches config by construction")
     }
 

@@ -29,5 +29,8 @@ pub mod mini_kafka;
 pub mod query_service;
 pub mod rx;
 
-pub use cluster::{CollectorCluster, CollectorHealth, FaultDrops, QueryError};
+pub use cluster::{
+    CandidateProbe, ClusterQueryExplain, CollectorCluster, CollectorHealth, FaultDrops, QueryError,
+    QueryRouting,
+};
 pub use dart_collector::DartCollector;

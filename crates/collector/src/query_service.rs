@@ -16,7 +16,7 @@ use dta_telemetry::query_mirror::{QueryAnswer, QueryMirrorBackend};
 use dta_telemetry::trace::{AnalysisKind, AnalysisOutput, TraceBackend, TraceKey};
 use dta_wire::FiveTuple;
 
-use crate::cluster::CollectorCluster;
+use crate::cluster::{ClusterQueryExplain, CollectorCluster};
 
 /// A typed query answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -143,6 +143,23 @@ impl<'a> QueryService<'a> {
             }),
             |bytes| FailureBackend::decode_value(bytes).ok(),
         )
+    }
+
+    /// The full §3.2 trace for a raw key under the cluster's default
+    /// policy: which collector the key hashed to, the failover routing
+    /// taken, the `N` slots probed (and which checksums matched), and
+    /// why the return policy answered or abstained.
+    ///
+    /// Does not touch [`ServiceStats`] — explain is a diagnostic lens,
+    /// not an operator question.
+    pub fn explain_key(&mut self, key: &[u8]) -> ClusterQueryExplain {
+        self.cluster.query_explain(key)
+    }
+
+    /// [`QueryService::explain_key`] for the path question (Table 1
+    /// row 1): why did "what path did this flow take?" answer — or not?
+    pub fn explain_int_path(&mut self, flow: &FiveTuple) -> ClusterQueryExplain {
+        self.explain_key(&IntPathBackend::encode_key(flow))
     }
 
     /// Probe every anomaly kind for a flow — an incident dashboard row.
@@ -308,6 +325,22 @@ mod tests {
         assert_eq!(profile.len(), 2);
         assert!(profile.contains(&(AnomalyKind::Drop, ev1)));
         assert!(profile.contains(&(AnomalyKind::Congestion, ev2)));
+    }
+
+    #[test]
+    fn explain_traces_a_typed_query() {
+        let mut stack = IntStack::new();
+        stack.push(HopMetadata { switch_id: 5 }).unwrap();
+        let record = IntPathBackend::record(&flow(), &stack);
+        let mut cluster = cluster_with(&[record]);
+        let mut service = QueryService::new(&mut cluster);
+        let explain = service.explain_int_path(&flow());
+        assert_eq!(explain.answered_by, Some(explain.key_collector));
+        assert!(explain.outcome.unwrap().is_answer());
+        let store = explain.candidates[0].explain.as_ref().unwrap();
+        assert!(store.matched() >= 1);
+        // Explain is a diagnostic lens: stats stay untouched.
+        assert_eq!(service.stats(), ServiceStats::default());
     }
 
     #[test]

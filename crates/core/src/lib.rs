@@ -54,6 +54,6 @@ pub mod writer;
 
 pub use config::DartConfig;
 pub use error::DartError;
-pub use query::{QueryOutcome, ReturnPolicy};
-pub use store::DartStore;
+pub use query::{DecisionReason, QueryOutcome, ReturnPolicy};
+pub use store::{DartStore, SlotProbe, StoreExplain};
 pub use writer::ReportWriter;

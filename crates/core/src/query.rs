@@ -76,37 +76,108 @@ pub fn classify(outcome: &QueryOutcome, truth: &[u8]) -> QueryClass {
     }
 }
 
+/// Why a return policy answered or abstained — the §4 taxonomy made
+/// directly inspectable (the query-explain API surfaces these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// No slot held a value whose checksum matched the key.
+    NoSlotMatched,
+    /// The policy answered; `votes` matching slots agreed on the value
+    /// (1 for [`ReturnPolicy::FirstMatch`], which never counts).
+    Answered {
+        /// Matching slots that carried the returned value.
+        votes: u8,
+    },
+    /// [`ReturnPolicy::UniqueValue`] saw more than one distinct
+    /// matching value and abstained.
+    ConflictingValues,
+    /// [`ReturnPolicy::Plurality`] found no strict winner.
+    PluralityTie,
+    /// [`ReturnPolicy::Consensus`] found a winner with too few votes.
+    BelowConsensus {
+        /// Votes required.
+        needed: u8,
+        /// Votes the best value actually had.
+        got: u8,
+    },
+}
+
+impl DecisionReason {
+    /// A stable snake_case name for counters, exporters and event logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DecisionReason::NoSlotMatched => "no_slot_matched",
+            DecisionReason::Answered { .. } => "answered",
+            DecisionReason::ConflictingValues => "conflicting_values",
+            DecisionReason::PluralityTie => "plurality_tie",
+            DecisionReason::BelowConsensus { .. } => "below_consensus",
+        }
+    }
+}
+
 /// Apply a return policy to the checksum-matching values of a key's `N`
 /// slots (in copy order).
 pub fn decide(matches: &[&[u8]], policy: ReturnPolicy) -> QueryOutcome {
+    decide_explain(matches, policy).0
+}
+
+/// Apply a return policy and say why it answered or abstained.
+pub fn decide_explain(matches: &[&[u8]], policy: ReturnPolicy) -> (QueryOutcome, DecisionReason) {
     if matches.is_empty() {
-        return QueryOutcome::Empty;
+        return (QueryOutcome::Empty, DecisionReason::NoSlotMatched);
     }
+    let votes = |count: usize| count.min(u8::MAX as usize) as u8;
     match policy {
-        ReturnPolicy::FirstMatch => QueryOutcome::Answer(matches[0].to_vec()),
+        ReturnPolicy::FirstMatch => (
+            QueryOutcome::Answer(matches[0].to_vec()),
+            DecisionReason::Answered { votes: 1 },
+        ),
         ReturnPolicy::UniqueValue => {
             let first = matches[0];
             if matches.iter().all(|v| *v == first) {
-                QueryOutcome::Answer(first.to_vec())
+                (
+                    QueryOutcome::Answer(first.to_vec()),
+                    DecisionReason::Answered {
+                        votes: votes(matches.len()),
+                    },
+                )
             } else {
-                QueryOutcome::Empty
+                (QueryOutcome::Empty, DecisionReason::ConflictingValues)
             }
         }
         ReturnPolicy::Plurality => {
             let (winner, count, tied) = plurality(matches);
             if tied || count == 0 {
-                QueryOutcome::Empty
+                (QueryOutcome::Empty, DecisionReason::PluralityTie)
             } else {
-                QueryOutcome::Answer(winner.to_vec())
+                (
+                    QueryOutcome::Answer(winner.to_vec()),
+                    DecisionReason::Answered {
+                        votes: votes(count),
+                    },
+                )
             }
         }
         ReturnPolicy::Consensus(k) => {
             let k = usize::from(k.max(2));
             let (winner, count, tied) = plurality(matches);
             if !tied && count >= k {
-                QueryOutcome::Answer(winner.to_vec())
+                (
+                    QueryOutcome::Answer(winner.to_vec()),
+                    DecisionReason::Answered {
+                        votes: votes(count),
+                    },
+                )
+            } else if tied {
+                (QueryOutcome::Empty, DecisionReason::PluralityTie)
             } else {
-                QueryOutcome::Empty
+                (
+                    QueryOutcome::Empty,
+                    DecisionReason::BelowConsensus {
+                        needed: votes(k),
+                        got: votes(count),
+                    },
+                )
             }
         }
     }
@@ -242,6 +313,84 @@ mod tests {
             QueryClass::ReturnError
         );
         assert_eq!(classify(&QueryOutcome::Empty, A), QueryClass::EmptyReturn);
+    }
+
+    #[test]
+    fn explain_reasons_match_outcomes() {
+        // Empty slot set: every policy reports NoSlotMatched.
+        for policy in [
+            ReturnPolicy::UniqueValue,
+            ReturnPolicy::FirstMatch,
+            ReturnPolicy::Plurality,
+            ReturnPolicy::Consensus(2),
+        ] {
+            assert_eq!(
+                decide_explain(&[], policy),
+                (QueryOutcome::Empty, DecisionReason::NoSlotMatched)
+            );
+        }
+        assert_eq!(
+            decide_explain(&[A, B], ReturnPolicy::UniqueValue).1,
+            DecisionReason::ConflictingValues
+        );
+        assert_eq!(
+            decide_explain(&[A, A], ReturnPolicy::UniqueValue).1,
+            DecisionReason::Answered { votes: 2 }
+        );
+        assert_eq!(
+            decide_explain(&[A, B], ReturnPolicy::Plurality).1,
+            DecisionReason::PluralityTie
+        );
+        assert_eq!(
+            decide_explain(&[A, A, B], ReturnPolicy::Plurality).1,
+            DecisionReason::Answered { votes: 2 }
+        );
+        assert_eq!(
+            decide_explain(&[A, A, B], ReturnPolicy::Consensus(3)).1,
+            DecisionReason::BelowConsensus { needed: 3, got: 2 }
+        );
+        assert_eq!(
+            decide_explain(&[A, B], ReturnPolicy::Consensus(2)).1,
+            DecisionReason::PluralityTie
+        );
+        assert_eq!(
+            decide_explain(&[B, A], ReturnPolicy::FirstMatch).1,
+            DecisionReason::Answered { votes: 1 }
+        );
+    }
+
+    #[test]
+    fn decide_is_explain_outcome() {
+        // decide() must stay a thin wrapper: same outcome on shapes
+        // covering every reason.
+        for matches in [
+            &[][..],
+            &[A][..],
+            &[A, A][..],
+            &[A, B][..],
+            &[A, A, B][..],
+            &[A, B, C][..],
+        ] {
+            for policy in [
+                ReturnPolicy::UniqueValue,
+                ReturnPolicy::FirstMatch,
+                ReturnPolicy::Plurality,
+                ReturnPolicy::Consensus(2),
+                ReturnPolicy::Consensus(3),
+            ] {
+                assert_eq!(decide(matches, policy), decide_explain(matches, policy).0);
+            }
+        }
+    }
+
+    #[test]
+    fn reason_names_are_stable() {
+        assert_eq!(DecisionReason::NoSlotMatched.name(), "no_slot_matched");
+        assert_eq!(DecisionReason::Answered { votes: 2 }.name(), "answered");
+        assert_eq!(
+            DecisionReason::BelowConsensus { needed: 3, got: 1 }.name(),
+            "below_consensus"
+        );
     }
 
     #[test]

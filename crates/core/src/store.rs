@@ -9,7 +9,46 @@
 use crate::config::{DartConfig, WriteStrategy};
 use crate::error::DartError;
 use crate::hash::AddressMapping;
-use crate::query::{decide, QueryOutcome, ReturnPolicy};
+use crate::query::{decide, decide_explain, DecisionReason, QueryOutcome, ReturnPolicy};
+
+/// What one slot probe of a query saw (one of the `N` copies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotProbe {
+    /// Copy index (0-based).
+    pub copy: u8,
+    /// Slot index the copy hashed to.
+    pub slot: u64,
+    /// Whether the slot held any report (non-zero bytes).
+    pub occupied: bool,
+    /// Whether the stored key checksum matched the queried key's.
+    pub checksum_matched: bool,
+}
+
+/// A full trace of one query against one store: every slot probed, the
+/// policy applied, and why it answered or abstained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreExplain {
+    /// The `N` probes, in copy order.
+    pub probes: Vec<SlotProbe>,
+    /// Policy that made the decision.
+    pub policy: ReturnPolicy,
+    /// Why the policy answered or abstained.
+    pub reason: DecisionReason,
+    /// The outcome the caller would have received from a plain query.
+    pub outcome: QueryOutcome,
+}
+
+impl StoreExplain {
+    /// Number of probes whose checksum matched.
+    pub fn matched(&self) -> usize {
+        self.probes.iter().filter(|p| p.checksum_matched).count()
+    }
+
+    /// Number of probes that found an occupied slot.
+    pub fn occupied(&self) -> usize {
+        self.probes.iter().filter(|p| p.occupied).count()
+    }
+}
 
 /// Counters maintained by the write path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -191,6 +230,12 @@ impl DartStore {
         self.view().query_with_policy(key, policy)
     }
 
+    /// Query `key` and trace every slot probed plus the policy's
+    /// reasoning.
+    pub fn query_explain(&self, key: &[u8], policy: ReturnPolicy) -> StoreExplain {
+        self.view().query_explain(key, policy)
+    }
+
     /// A read-only view over this store's memory.
     pub fn view(&self) -> StoreView<'_> {
         StoreView {
@@ -278,6 +323,42 @@ impl<'a> StoreView<'a> {
     pub fn query(&self, key: &[u8]) -> QueryOutcome {
         self.query_with_policy(key, self.config.policy)
     }
+
+    /// Query `key` and trace every slot probed plus the policy's
+    /// reasoning — the read-side half of the query-explain API.
+    pub fn query_explain(&self, key: &[u8], policy: ReturnPolicy) -> StoreExplain {
+        let layout = self.config.layout;
+        let expected = layout.checksum.truncate(self.mapping.key_checksum(key));
+        let slot_len = layout.slot_len();
+        let mut probes = Vec::with_capacity(usize::from(self.config.copies));
+        let mut matches = Vec::with_capacity(usize::from(self.config.copies));
+        for copy in 0..self.config.copies {
+            let slot = self.mapping.slot(key, copy, self.config.slots);
+            let start = slot as usize * slot_len;
+            let slot_bytes = &self.memory[start..start + slot_len];
+            let occupied = slot_bytes.iter().any(|&b| b != 0);
+            let mut checksum_matched = false;
+            if let Ok((stored, value)) = layout.decode(slot_bytes) {
+                if stored == expected {
+                    checksum_matched = true;
+                    matches.push(value);
+                }
+            }
+            probes.push(SlotProbe {
+                copy,
+                slot,
+                occupied,
+                checksum_matched,
+            });
+        }
+        let (outcome, reason) = decide_explain(&matches, policy);
+        StoreExplain {
+            probes,
+            policy,
+            reason,
+            outcome,
+        }
+    }
 }
 
 /// A query engine that owns its mapping — convenient when querying RDMA
@@ -314,6 +395,18 @@ impl OwnedQueryEngine {
     ) -> Result<QueryOutcome, DartError> {
         let view = StoreView::over(&self.config, self.mapping.as_ref(), memory)?;
         Ok(view.query_with_policy(key, policy))
+    }
+
+    /// Query `key` against `memory` and trace every slot probed plus
+    /// the policy's reasoning.
+    pub fn query_explain(
+        &self,
+        memory: &[u8],
+        key: &[u8],
+        policy: ReturnPolicy,
+    ) -> Result<StoreExplain, DartError> {
+        let view = StoreView::over(&self.config, self.mapping.as_ref(), memory)?;
+        Ok(view.query_explain(key, policy))
     }
 }
 
@@ -483,6 +576,72 @@ mod tests {
         let copy = store.clone();
         assert_eq!(copy.query(b"k1"), QueryOutcome::Answer(value(4)));
         assert_eq!(copy.stats(), store.stats());
+    }
+
+    #[test]
+    fn explain_traces_probes_and_reason() {
+        let mut store = DartStore::new(config(1 << 12));
+        store.insert(b"k1", &value(5)).unwrap();
+        let explain = store.query_explain(b"k1", ReturnPolicy::Plurality);
+        assert_eq!(explain.probes.len(), 2);
+        assert_eq!(explain.matched(), 2);
+        assert_eq!(explain.occupied(), 2);
+        assert_eq!(
+            explain.reason,
+            crate::query::DecisionReason::Answered { votes: 2 }
+        );
+        assert_eq!(explain.outcome, QueryOutcome::Answer(value(5)));
+        // Probe metadata is self-consistent: matched ⇒ occupied, and
+        // slots are where the mapping says they are.
+        for probe in &explain.probes {
+            assert!(probe.occupied || !probe.checksum_matched);
+        }
+
+        // An unreported key: probes exist, nothing matched.
+        let explain = store.query_explain(b"ghost", ReturnPolicy::Plurality);
+        assert_eq!(explain.matched(), 0);
+        assert_eq!(explain.reason, crate::query::DecisionReason::NoSlotMatched);
+        assert_eq!(explain.outcome, QueryOutcome::Empty);
+    }
+
+    #[test]
+    fn explain_agrees_with_plain_query() {
+        let mut store = DartStore::new(config(256));
+        for i in 0..512u32 {
+            store
+                .insert(format!("k{i}").as_bytes(), &value((i % 251) as u8))
+                .unwrap();
+        }
+        for i in 0..512u32 {
+            let key = format!("k{i}");
+            for policy in [
+                ReturnPolicy::UniqueValue,
+                ReturnPolicy::FirstMatch,
+                ReturnPolicy::Plurality,
+                ReturnPolicy::Consensus(2),
+            ] {
+                let explain = store.query_explain(key.as_bytes(), policy);
+                assert_eq!(
+                    explain.outcome,
+                    store.query_with_policy(key.as_bytes(), policy)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_explain_over_foreign_memory() {
+        let cfg = config(1 << 10);
+        let mut store = DartStore::new(cfg.clone());
+        store.insert(b"k1", &value(7)).unwrap();
+        let engine = OwnedQueryEngine::new(cfg).unwrap();
+        let explain = engine
+            .query_explain(store.memory(), b"k1", ReturnPolicy::UniqueValue)
+            .unwrap();
+        assert_eq!(explain.outcome, QueryOutcome::Answer(value(7)));
+        assert!(engine
+            .query_explain(&[0u8; 3], b"k1", ReturnPolicy::UniqueValue)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,523 @@
+//! Exposition: render a registry snapshot as Prometheus text or JSONL,
+//! and parse either back into [`MetricSnapshot`]s.
+//!
+//! Both formats round-trip exactly — `parse(render(snapshot)) ==
+//! snapshot` for every registered metric — so sims, benches, and the
+//! operator console can exchange machine-readable state without a
+//! serialization dependency.
+//!
+//! Histograms are exposed Prometheus-style as cumulative `_bucket{le=}`
+//! series. Because buckets are log2 (bucket `i` covers `[2^(i-1),
+//! 2^i)`), the `le` bound of bucket `i` is `2^i - 1`; the clamped top
+//! bucket maps to `le="+Inf"`.
+
+use crate::metrics::{HistogramSnapshot, HISTOGRAM_BUCKETS};
+use crate::registry::{MetricSnapshot, MetricValue};
+use std::fmt::Write as _;
+
+/// Why an exposition string failed to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending input line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// The inclusive upper bound (`le`) of log2 bucket `i`, or `None` for
+/// the clamped top bucket (`+Inf`).
+fn bucket_le(i: usize) -> Option<u64> {
+    (i + 1 < HISTOGRAM_BUCKETS).then(|| (1u64 << i) - 1)
+}
+
+/// Map an `le` bound back to its bucket index.
+fn bucket_of_le(le: u64) -> Option<usize> {
+    // le = 2^i - 1, so le + 1 must be a power of two.
+    let next = le.checked_add(1)?;
+    next.is_power_of_two()
+        .then(|| next.trailing_zeros() as usize)
+        .filter(|&i| i + 1 < HISTOGRAM_BUCKETS)
+}
+
+// ---------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------
+
+/// Render metrics in Prometheus text exposition format.
+pub fn render_prometheus(metrics: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        let _ = writeln!(out, "# TYPE {} {}", m.name, m.value.type_name());
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(out, "{} {}", m.name, v);
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(out, "{} {}", m.name, v);
+            }
+            MetricValue::Histogram(h) => {
+                let top = h.max_bucket().unwrap_or(0);
+                let mut cumulative = 0u64;
+                for (i, &b) in h.buckets.iter().enumerate().take(top + 1) {
+                    cumulative += b;
+                    match bucket_le(i) {
+                        Some(le) => {
+                            let _ =
+                                writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, le, cumulative);
+                        }
+                        None => break, // top bucket folds into +Inf below
+                    }
+                }
+                let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count);
+                let _ = writeln!(out, "{}_sum {}", m.name, h.sum);
+                let _ = writeln!(out, "{}_count {}", m.name, h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Parse Prometheus text exposition produced by [`render_prometheus`].
+pub fn parse_prometheus(text: &str) -> Result<Vec<MetricSnapshot>, ParseError> {
+    let mut metrics: Vec<MetricSnapshot> = Vec::new();
+    let mut pending: Option<(String, String)> = None; // (name, type)
+    let mut hist: Option<(String, HistogramSnapshot, u64)> = None; // (name, snap, seen +Inf count)
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            // Close out any in-flight histogram.
+            if hist.is_some() {
+                return err(lineno, "histogram series interrupted by new TYPE line");
+            }
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().map(str::to_string);
+            let ty = parts.next().map(str::to_string);
+            match (name, ty) {
+                (Some(n), Some(t)) => pending = Some((n, t)),
+                _ => return err(lineno, "malformed TYPE line"),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, ty) = match &pending {
+            Some(p) => p.clone(),
+            None => return err(lineno, "sample line before any TYPE line"),
+        };
+        match ty.as_str() {
+            "counter" => {
+                let v = sample_value(line, &name, lineno)?;
+                let v: u64 = v
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad counter value"))?;
+                metrics.push(MetricSnapshot {
+                    name: name.clone(),
+                    value: MetricValue::Counter(v),
+                });
+                pending = None;
+            }
+            "gauge" => {
+                let v = sample_value(line, &name, lineno)?;
+                let v: i64 = v
+                    .parse()
+                    .map_err(|_| parse_err(lineno, "bad gauge value"))?;
+                metrics.push(MetricSnapshot {
+                    name: name.clone(),
+                    value: MetricValue::Gauge(v),
+                });
+                pending = None;
+            }
+            "histogram" => {
+                let (snap, prev_cumulative) = match hist.take() {
+                    Some((n, s, c)) if n == name => (s, c),
+                    Some(_) => return err(lineno, "histogram name mismatch"),
+                    None => (HistogramSnapshot::empty(), 0),
+                };
+                let mut snap = snap;
+                let mut cumulative = prev_cumulative;
+                if let Some(rest) = line.strip_prefix(&format!("{name}_bucket{{le=\"")) {
+                    let (le_str, tail) = rest
+                        .split_once("\"}")
+                        .ok_or_else(|| parse_err(lineno, "malformed bucket label"))?;
+                    let count: u64 = tail
+                        .trim()
+                        .parse()
+                        .map_err(|_| parse_err(lineno, "bad bucket count"))?;
+                    if le_str == "+Inf" {
+                        // Everything not yet attributed lands in the
+                        // clamped top bucket.
+                        snap.buckets[HISTOGRAM_BUCKETS - 1] = count - cumulative;
+                        snap.count = count;
+                        hist = Some((name.clone(), snap, count));
+                    } else {
+                        let le: u64 = le_str
+                            .parse()
+                            .map_err(|_| parse_err(lineno, "bad le bound"))?;
+                        let i = bucket_of_le(le)
+                            .ok_or_else(|| parse_err(lineno, "le bound not a log2 boundary"))?;
+                        snap.buckets[i] = count - cumulative;
+                        cumulative = count;
+                        hist = Some((name.clone(), snap, cumulative));
+                    }
+                } else if let Some(rest) = line.strip_prefix(&format!("{name}_sum ")) {
+                    snap.sum = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| parse_err(lineno, "bad histogram sum"))?;
+                    hist = Some((name.clone(), snap, cumulative));
+                } else if let Some(rest) = line.strip_prefix(&format!("{name}_count ")) {
+                    let count: u64 = rest
+                        .trim()
+                        .parse()
+                        .map_err(|_| parse_err(lineno, "bad histogram count"))?;
+                    snap.count = count;
+                    metrics.push(MetricSnapshot {
+                        name: name.clone(),
+                        value: MetricValue::Histogram(Box::new(snap)),
+                    });
+                    pending = None;
+                } else {
+                    return err(lineno, format!("unexpected histogram series line: {line}"));
+                }
+            }
+            other => return err(lineno, format!("unknown metric type {other:?}")),
+        }
+    }
+    if hist.is_some() {
+        return err(text.lines().count(), "truncated histogram series");
+    }
+    Ok(metrics)
+}
+
+fn parse_err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn sample_value<'a>(line: &'a str, name: &str, lineno: usize) -> Result<&'a str, ParseError> {
+    line.strip_prefix(name)
+        .map(str::trim)
+        .filter(|v| !v.is_empty())
+        .ok_or_else(|| parse_err(lineno, "sample name does not match TYPE line"))
+}
+
+// ---------------------------------------------------------------------
+// JSONL exposition
+// ---------------------------------------------------------------------
+
+/// Render metrics as JSONL: one JSON object per line.
+///
+/// Counters and gauges are `{"name":..,"type":..,"value":..}`;
+/// histograms carry `count`, `sum`, and a sparse `buckets` array of
+/// `[index, count]` pairs.
+pub fn render_jsonl(metrics: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for m in metrics {
+        match &m.value {
+            MetricValue::Counter(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{}\",\"type\":\"counter\",\"value\":{}}}",
+                    m.name, v
+                );
+            }
+            MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{}\",\"type\":\"gauge\",\"value\":{}}}",
+                    m.name, v
+                );
+            }
+            MetricValue::Histogram(h) => {
+                let mut buckets = String::new();
+                for (i, &b) in h.buckets.iter().enumerate() {
+                    if b > 0 {
+                        if !buckets.is_empty() {
+                            buckets.push(',');
+                        }
+                        let _ = write!(buckets, "[{i},{b}]");
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{{\"name\":\"{}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[{}]}}",
+                    m.name, h.count, h.sum, buckets
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parse JSONL produced by [`render_jsonl`].
+pub fn parse_jsonl(text: &str) -> Result<Vec<MetricSnapshot>, ParseError> {
+    let mut metrics = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields = parse_json_object(line).map_err(|m| parse_err(lineno, m))?;
+        let name = match fields.iter().find(|(k, _)| k == "name") {
+            Some((_, JsonValue::String(s))) => s.clone(),
+            _ => return err(lineno, "missing \"name\" field"),
+        };
+        let ty = match fields.iter().find(|(k, _)| k == "type") {
+            Some((_, JsonValue::String(s))) => s.clone(),
+            _ => return err(lineno, "missing \"type\" field"),
+        };
+        let value = match ty.as_str() {
+            "counter" => match fields.iter().find(|(k, _)| k == "value") {
+                Some((_, JsonValue::Number(n))) => MetricValue::Counter(
+                    u64::try_from(*n).map_err(|_| parse_err(lineno, "negative counter"))?,
+                ),
+                _ => return err(lineno, "missing counter \"value\""),
+            },
+            "gauge" => match fields.iter().find(|(k, _)| k == "value") {
+                Some((_, JsonValue::Number(n))) => MetricValue::Gauge(*n),
+                _ => return err(lineno, "missing gauge \"value\""),
+            },
+            "histogram" => {
+                let mut snap = HistogramSnapshot::empty();
+                for (k, v) in &fields {
+                    match (k.as_str(), v) {
+                        ("count", JsonValue::Number(n)) => {
+                            snap.count = u64::try_from(*n)
+                                .map_err(|_| parse_err(lineno, "negative count"))?
+                        }
+                        ("sum", JsonValue::Number(n)) => {
+                            snap.sum =
+                                u64::try_from(*n).map_err(|_| parse_err(lineno, "negative sum"))?
+                        }
+                        ("buckets", JsonValue::Pairs(pairs)) => {
+                            for &(i, b) in pairs {
+                                let i = usize::try_from(i)
+                                    .ok()
+                                    .filter(|&i| i < HISTOGRAM_BUCKETS)
+                                    .ok_or_else(|| {
+                                        parse_err(lineno, "bucket index out of range")
+                                    })?;
+                                snap.buckets[i] = u64::try_from(b)
+                                    .map_err(|_| parse_err(lineno, "negative bucket count"))?;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                MetricValue::Histogram(Box::new(snap))
+            }
+            other => return err(lineno, format!("unknown metric type {other:?}")),
+        };
+        metrics.push(MetricSnapshot { name, value });
+    }
+    Ok(metrics)
+}
+
+/// The restricted JSON value space the JSONL exposition uses.
+#[derive(Debug)]
+enum JsonValue {
+    String(String),
+    Number(i64),
+    /// An array of two-element number arrays (`[[i, n], ...]`).
+    Pairs(Vec<(i64, i64)>),
+}
+
+/// Parse one flat JSON object in the restricted grammar the renderer
+/// emits: string keys; string, integer, or `[[int,int],...]` values.
+fn parse_json_object(line: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut chars = line.char_indices().peekable();
+    let mut fields = Vec::new();
+
+    fn skip_ws(chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>) {
+        while matches!(chars.peek(), Some((_, c)) if c.is_whitespace()) {
+            chars.next();
+        }
+    }
+    fn expect(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+        want: char,
+    ) -> Result<(), String> {
+        skip_ws(chars);
+        match chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            other => Err(format!("expected {want:?}, found {other:?}")),
+        }
+    }
+    fn parse_string(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<String, String> {
+        expect(chars, '"')?;
+        let mut s = String::new();
+        for (_, c) in chars.by_ref() {
+            if c == '"' {
+                return Ok(s);
+            }
+            s.push(c);
+        }
+        Err("unterminated string".into())
+    }
+    fn parse_number(
+        chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    ) -> Result<i64, String> {
+        skip_ws(chars);
+        let mut s = String::new();
+        while let Some(&(_, c)) = chars.peek() {
+            if c == '-' || c.is_ascii_digit() {
+                s.push(c);
+                chars.next();
+            } else {
+                break;
+            }
+        }
+        s.parse().map_err(|_| format!("bad number {s:?}"))
+    }
+
+    expect(&mut chars, '{')?;
+    loop {
+        skip_ws(&mut chars);
+        if matches!(chars.peek(), Some((_, '}'))) {
+            chars.next();
+            break;
+        }
+        let key = parse_string(&mut chars)?;
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = match chars.peek() {
+            Some((_, '"')) => JsonValue::String(parse_string(&mut chars)?),
+            Some((_, '[')) => {
+                chars.next();
+                let mut pairs = Vec::new();
+                loop {
+                    skip_ws(&mut chars);
+                    match chars.peek() {
+                        Some((_, ']')) => {
+                            chars.next();
+                            break;
+                        }
+                        Some((_, '[')) => {
+                            chars.next();
+                            let a = parse_number(&mut chars)?;
+                            expect(&mut chars, ',')?;
+                            let b = parse_number(&mut chars)?;
+                            expect(&mut chars, ']')?;
+                            pairs.push((a, b));
+                            skip_ws(&mut chars);
+                            if matches!(chars.peek(), Some((_, ','))) {
+                                chars.next();
+                            }
+                        }
+                        other => return Err(format!("expected pair or ']', found {other:?}")),
+                    }
+                }
+                JsonValue::Pairs(pairs)
+            }
+            _ => JsonValue::Number(parse_number(&mut chars)?),
+        };
+        fields.push((key, value));
+        skip_ws(&mut chars);
+        match chars.peek() {
+            Some((_, ',')) => {
+                chars.next();
+            }
+            Some((_, '}')) => {}
+            other => return Err(format!("expected ',' or '}}', found {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("dta_nic_writes_total").add(17);
+        reg.counter("dta_reports_total").add(170);
+        reg.gauge("dta_collectors_live").set(3);
+        reg.gauge("dta_psn_drift").set(-4);
+        let h = reg.histogram("dta_report_age_ticks");
+        for v in [0u64, 1, 2, 2, 5, 9, 1000, u64::MAX] {
+            h.record(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn prometheus_round_trips_every_metric() {
+        let snap = sample_registry().snapshot();
+        let text = render_prometheus(&snap);
+        let parsed = parse_prometheus(&text).expect("parse back");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn jsonl_round_trips_every_metric() {
+        let snap = sample_registry().snapshot();
+        let text = render_jsonl(&snap);
+        let parsed = parse_jsonl(&text).expect("parse back");
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn prometheus_shape_is_conventional() {
+        let reg = Registry::new();
+        reg.counter("dta_x_total").add(2);
+        let text = render_prometheus(&reg.snapshot());
+        assert_eq!(text, "# TYPE dta_x_total counter\ndta_x_total 2\n");
+    }
+
+    #[test]
+    fn empty_histogram_round_trips() {
+        let reg = Registry::new();
+        reg.histogram("dta_empty");
+        let snap = reg.snapshot();
+        assert_eq!(parse_prometheus(&render_prometheus(&snap)).unwrap(), snap);
+        assert_eq!(parse_jsonl(&render_jsonl(&snap)).unwrap(), snap);
+    }
+
+    #[test]
+    fn le_bounds_invert() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            match bucket_le(i) {
+                Some(le) => assert_eq!(bucket_of_le(le), Some(i)),
+                None => assert_eq!(i, HISTOGRAM_BUCKETS - 1),
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "# TYPE dta_x counter\nwrong_name 2\n";
+        let e = parse_prometheus(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+        let bad_json = "{\"name\":\"x\",\"type\":\"mystery\",\"value\":1}";
+        let e = parse_jsonl(bad_json).unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

@@ -1,0 +1,189 @@
+//! # dta-obs — the DART observability layer.
+//!
+//! DART's premise is that the collector CPU never touches a report, which
+//! leaves the operator with no natural vantage point when answers go
+//! empty or wrong (§4's error model). This crate is that vantage point:
+//! a hand-rolled, dependency-free metrics and event layer threaded
+//! through every stage of a report's life —
+//!
+//! ```text
+//! switch egress craft → link frame → NIC rx verdict → slot write
+//!                                        → query read → return policy
+//! ```
+//!
+//! Three pieces:
+//!
+//! * [`metrics`] — atomic [`Counter`]s, [`Gauge`]s and log2-bucketed
+//!   [`Histogram`]s. Handles are cheap `Arc` clones; the record path is a
+//!   single atomic op, allocation-free.
+//! * [`registry`] — a shared name → metric [`Registry`] with
+//!   point-in-time [`MetricSnapshot`]s.
+//! * [`ring`] — a fixed-capacity [`EventRing`] of `Copy`-only lifecycle
+//!   [`Event`]s (report crafted, NIC verdict, slot write, query probe,
+//!   liveness flip, …) for after-the-fact tracing.
+//!
+//! [`export`] renders a registry snapshot as Prometheus text exposition
+//! or JSONL, and parses both back (snapshots round-trip, so sims, benches
+//! and the operator console can exchange machine-readable state).
+//!
+//! The [`Obs`] handle bundles a registry, a ring and a shared tick; a
+//! [`Obs::noop`] variant keeps every call site valid while recording
+//! nothing, which is how the <5 % overhead bound is demonstrated.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod export;
+pub mod metrics;
+pub mod registry;
+pub mod ring;
+
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS};
+pub use registry::{MetricSnapshot, MetricValue, Registry};
+pub use ring::{Event, EventKind, EventRing};
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default event-ring capacity for [`Obs::new`].
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// A cheap-to-clone handle bundling the three observability pieces:
+/// a metric [`Registry`], a lifecycle [`EventRing`], and a shared tick
+/// (the caller's clock — link frames in the simulator).
+#[derive(Clone)]
+pub struct Obs {
+    registry: Arc<Registry>,
+    ring: Arc<EventRing>,
+    tick: Arc<AtomicU64>,
+    enabled: bool,
+}
+
+impl Obs {
+    /// A live handle with the default ring capacity.
+    pub fn new() -> Obs {
+        Obs::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// A live handle with an explicit ring capacity.
+    pub fn with_capacity(ring_capacity: usize) -> Obs {
+        Obs {
+            registry: Arc::new(Registry::new()),
+            ring: Arc::new(EventRing::new(ring_capacity)),
+            tick: Arc::new(AtomicU64::new(0)),
+            enabled: true,
+        }
+    }
+
+    /// A no-op handle: every call site stays valid, nothing is recorded.
+    /// Used to measure the overhead of the live layer against.
+    pub fn noop() -> Obs {
+        Obs {
+            registry: Arc::new(Registry::new()),
+            ring: Arc::new(EventRing::new(0)),
+            tick: Arc::new(AtomicU64::new(0)),
+            enabled: false,
+        }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The lifecycle event ring.
+    pub fn ring(&self) -> &EventRing {
+        &self.ring
+    }
+
+    /// Get or register a counter. Call once at attach time and keep the
+    /// handle — the increment path is then a lone atomic add.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Get or register a gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Get or register a log2-bucketed histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
+    }
+
+    /// Record a lifecycle event at the current tick.
+    pub fn event(&self, kind: EventKind) {
+        if self.enabled {
+            self.ring.record(self.tick.load(Ordering::Relaxed), kind);
+        }
+    }
+
+    /// Advance the shared tick (the simulator sets this to its frame
+    /// clock so events across components share a timeline).
+    pub fn set_tick(&self, tick: u64) {
+        self.tick.store(tick, Ordering::Relaxed);
+    }
+
+    /// The current tick.
+    pub fn tick(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::new()
+    }
+}
+
+impl core::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled)
+            .field("metrics", &self.registry.len())
+            .field("events", &self.ring.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let obs = Obs::new();
+        let clone = obs.clone();
+        obs.counter("shared").add(3);
+        assert_eq!(clone.counter("shared").get(), 3);
+        clone.set_tick(42);
+        obs.event(EventKind::LivenessFlip {
+            collector: 1,
+            live: false,
+        });
+        let events = obs.ring().snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].tick, 42);
+    }
+
+    #[test]
+    fn noop_records_nothing() {
+        let obs = Obs::noop();
+        assert!(!obs.is_enabled());
+        obs.event(EventKind::Recovery {
+            collector: 0,
+            wiped: true,
+        });
+        assert_eq!(obs.ring().len(), 0);
+        // Counters still function (call sites stay valid) but the
+        // registry is simply never exported in noop mode.
+        obs.counter("x").inc();
+        assert_eq!(obs.counter("x").get(), 1);
+    }
+}

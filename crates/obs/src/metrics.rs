@@ -1,0 +1,241 @@
+//! Atomic metric primitives: counters, gauges, and log2-bucketed
+//! histograms.
+//!
+//! All three are `Arc`-backed handles — cloning shares the underlying
+//! cell, and recording is a single relaxed atomic op with no allocation,
+//! so a handle cached at attach time costs roughly as much as bumping a
+//! plain `u64` field.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Number of buckets in a [`Histogram`]: bucket `i` counts samples whose
+/// value has `i` significant bits, i.e. bucket 0 holds value 0, bucket
+/// `i` holds `[2^(i-1), 2^i)` for `i >= 1`, and the final bucket also
+/// absorbs everything at or above `2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increment by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move in both directions (queue depth, live
+/// collector count, occupancy).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A log2-bucketed histogram: 64 buckets indexed by the bit-length of
+/// the sample, plus a running sum and count for mean computation.
+///
+/// Bucketing by bit-length keeps `record` branch-free and exact for the
+/// quantities DART cares about (latencies in ticks, report ages in
+/// epochs, slot distances), while holding the footprint to a fixed
+/// `64 × 8` bytes per histogram.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCells>);
+
+#[derive(Debug)]
+struct HistogramCells {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A point-in-time copy of a histogram's state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts; bucket `i` covers `[2^(i-1), 2^i)`.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded samples (saturating).
+    pub sum: u64,
+    /// Number of recorded samples.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram(Arc::new(HistogramCells {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+
+    /// Which bucket a value lands in: its bit length (0 for value 0),
+    /// clamped so the top bucket absorbs `>= 2^62`.
+    #[inline]
+    pub fn bucket_of(value: u64) -> usize {
+        ((u64::BITS - value.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// The lower bound of bucket `i` (inclusive).
+    pub fn bucket_floor(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        let cells = &*self.0;
+        cells.buckets[Self::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        cells.sum.fetch_add(value, Ordering::Relaxed);
+        cells.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples recorded.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Copy out the full state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let cells = &*self.0;
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| cells.buckets[i].load(Ordering::Relaxed)),
+            sum: cells.sum.load(Ordering::Relaxed),
+            count: cells.count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            sum: 0,
+            count: 0,
+        }
+    }
+
+    /// Mean sample value, if any samples were recorded.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Index of the highest non-empty bucket, if any.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&b| b > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), 10);
+
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-7);
+        assert_eq!(g.get(), -2);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        // The top bucket absorbs everything that would otherwise index
+        // out of range (bit length 64 for u64::MAX).
+        assert_eq!(Histogram::bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(Histogram::bucket_of(1u64 << 63), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 7, 8] {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum, 20);
+        assert_eq!(snap.buckets[0], 1); // value 0
+        assert_eq!(snap.buckets[1], 2); // value 1 ×2
+        assert_eq!(snap.buckets[2], 1); // value 3
+        assert_eq!(snap.buckets[3], 1); // value 7
+        assert_eq!(snap.buckets[4], 1); // value 8
+        assert_eq!(snap.max_bucket(), Some(4));
+        assert!((snap.mean().unwrap() - 20.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_floor_matches_bucket_of() {
+        for i in 1..HISTOGRAM_BUCKETS - 1 {
+            let floor = Histogram::bucket_floor(i);
+            assert_eq!(Histogram::bucket_of(floor), i);
+            assert_eq!(Histogram::bucket_of(floor.saturating_sub(1)), i - 1);
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The metric registry: a shared name → metric map with point-in-time
+//! snapshots.
+//!
+//! Registration (`counter`/`gauge`/`histogram`) takes a lock and may
+//! allocate; it is meant to happen once, at attach time. The returned
+//! handles are then recorded through lock-free. Snapshots copy the
+//! current value of every metric into plain data ([`MetricSnapshot`])
+//! that the [`crate::export`] module can render and parse back.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// One metric's registered form (the live, atomic cells).
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time value of one metric.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A counter's current value.
+    Counter(u64),
+    /// A gauge's current value.
+    Gauge(i64),
+    /// A histogram's current state (boxed: a snapshot is 64 buckets).
+    Histogram(Box<HistogramSnapshot>),
+}
+
+impl MetricValue {
+    /// The exposition type label ("counter" / "gauge" / "histogram").
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A named metric captured at snapshot time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// The metric's registered name (e.g. `dta_nic_writes_total`).
+    pub name: String,
+    /// Its value at capture time.
+    pub value: MetricValue,
+}
+
+/// A shared name → metric map.
+///
+/// Names follow Prometheus conventions: `[a-zA-Z_][a-zA-Z0-9_]*`, with
+/// counters suffixed `_total`. The registry does not enforce the
+/// convention but the exporters assume names never contain spaces,
+/// quotes, or newlines.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().unwrap().len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Get or register the counter `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter::new()))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as a {}", kind_of(other)),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge::new()))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as a {}", kind_of(other)),
+        }
+    }
+
+    /// Get or register the histogram `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.metrics.lock().unwrap();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new()))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as a {}", kind_of(other)),
+        }
+    }
+
+    /// Capture every registered metric, sorted by name.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let map = self.metrics.lock().unwrap();
+        map.iter()
+            .map(|(name, metric)| MetricSnapshot {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(Box::new(h.snapshot())),
+                },
+            })
+            .collect()
+    }
+
+    /// Current value of the counter `name`, if registered as one.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.metrics.lock().unwrap().get(name)? {
+            Metric::Counter(c) => Some(c.get()),
+            _ => None,
+        }
+    }
+
+    /// Current value of the gauge `name`, if registered as one.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        match self.metrics.lock().unwrap().get(name)? {
+            Metric::Gauge(g) => Some(g.get()),
+            _ => None,
+        }
+    }
+}
+
+fn kind_of(metric: &Metric) -> &'static str {
+    match metric {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_register_shares_the_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("dta_reports_total");
+        let b = reg.counter("dta_reports_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(reg.counter_value("dta_reports_total"), Some(3));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflict_panics() {
+        let reg = Registry::new();
+        reg.counter("dta_x");
+        reg.gauge("dta_x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.gauge("dta_live").set(-3);
+        reg.counter("dta_a_total").add(7);
+        reg.histogram("dta_age").record(5);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, ["dta_a_total", "dta_age", "dta_live"]);
+        assert_eq!(snap[0].value, MetricValue::Counter(7));
+        assert_eq!(snap[2].value, MetricValue::Gauge(-3));
+        match &snap[1].value {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 1),
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! A fixed-capacity ring buffer of lifecycle events.
+//!
+//! Every stage a report passes through — egress craft, failover remap,
+//! NIC verdict, slot write, query probe, liveness flip — can drop a
+//! `Copy`-only [`Event`] into the ring. The ring keeps the most recent
+//! `capacity` events and a monotonic sequence number so a reader can
+//! tell how many were overwritten. Payloads use `&'static str` for
+//! reason names, which keeps `dta-obs` a leaf crate: producers pass
+//! their own `DropReason::name()`-style strings.
+
+use std::sync::Mutex;
+
+/// What happened at one stage of a report's (or probe's) life.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A switch egress crafted one report copy.
+    ReportCrafted {
+        /// Crafting switch id.
+        switch: u32,
+        /// Destination collector index (after any failover remap).
+        collector: u8,
+        /// Copy index within the multi-write (0-based).
+        copy: u8,
+        /// PSN stamped on the frame.
+        psn: u32,
+    },
+    /// The egress rerouted a report because its primary collector was
+    /// marked dead in the liveness registers.
+    FailoverRemap {
+        /// Crafting switch id.
+        switch: u32,
+        /// The dead primary collector.
+        primary: u8,
+        /// The live collector the report was remapped to.
+        target: u8,
+    },
+    /// The egress dropped a report: no live collector remained.
+    NoLiveCollector {
+        /// Crafting switch id.
+        switch: u32,
+    },
+    /// A frame crossed the simulated link.
+    LinkFrame {
+        /// Whether the link delivered it (false = link-level drop).
+        delivered: bool,
+    },
+    /// A collector NIC executed an RDMA WRITE into a slot.
+    SlotWrite {
+        /// Receiving collector index.
+        collector: u8,
+        /// Target virtual address of the write.
+        va: u64,
+        /// Bytes written.
+        len: u32,
+        /// True if the slot was previously empty (all-zero), false if
+        /// this write overwrote an earlier report.
+        fresh: bool,
+    },
+    /// A collector NIC (or the fabric in front of it) dropped a frame.
+    NicDrop {
+        /// Receiving collector index.
+        collector: u8,
+        /// `DropReason::name()` of the verdict.
+        reason: &'static str,
+    },
+    /// A query probed one slot copy.
+    QueryProbe {
+        /// Collector the probe read from.
+        collector: u8,
+        /// Copy index probed (0-based).
+        copy: u8,
+        /// Slot index within the region.
+        slot: u64,
+        /// Whether the slot held any report (non-zero bytes).
+        occupied: bool,
+        /// Whether the slot's key checksum matched the queried key.
+        matched: bool,
+    },
+    /// The return policy reached its decision for one query.
+    QueryDecision {
+        /// Collector that served the query.
+        collector: u8,
+        /// `DecisionReason`-style name of why it answered/abstained.
+        reason: &'static str,
+        /// Whether a value was returned.
+        answered: bool,
+    },
+    /// The health monitor's probe to a collector went unanswered.
+    ProbeMiss {
+        /// Probed collector index.
+        collector: u8,
+        /// Consecutive misses so far.
+        misses: u32,
+    },
+    /// The health monitor backed off its probe interval for a dead peer.
+    ProbeBackoff {
+        /// Probed collector index.
+        collector: u8,
+        /// New probe interval in ticks.
+        interval: u64,
+    },
+    /// The health monitor flipped a collector's liveness bit.
+    LivenessFlip {
+        /// Collector index.
+        collector: u8,
+        /// New liveness state.
+        live: bool,
+    },
+    /// A collector came back from a fault.
+    Recovery {
+        /// Collector index.
+        collector: u8,
+        /// Whether its memory was wiped on the way back (crash vs.
+        /// blackhole/degrade).
+        wiped: bool,
+    },
+}
+
+impl EventKind {
+    /// A short stable name for the event variant (used by exporters and
+    /// the operator console).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::ReportCrafted { .. } => "report_crafted",
+            EventKind::FailoverRemap { .. } => "failover_remap",
+            EventKind::NoLiveCollector { .. } => "no_live_collector",
+            EventKind::LinkFrame { .. } => "link_frame",
+            EventKind::SlotWrite { .. } => "slot_write",
+            EventKind::NicDrop { .. } => "nic_drop",
+            EventKind::QueryProbe { .. } => "query_probe",
+            EventKind::QueryDecision { .. } => "query_decision",
+            EventKind::ProbeMiss { .. } => "probe_miss",
+            EventKind::ProbeBackoff { .. } => "probe_backoff",
+            EventKind::LivenessFlip { .. } => "liveness_flip",
+            EventKind::Recovery { .. } => "recovery",
+        }
+    }
+}
+
+/// One recorded event: a monotonic sequence number, the producer's tick
+/// at record time, and the payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Monotonic sequence number (0-based, never reused).
+    pub seq: u64,
+    /// Producer clock at record time (link frames in the simulator).
+    pub tick: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+#[derive(Debug)]
+struct RingState {
+    /// Storage; grows to `capacity` then wraps.
+    slots: Vec<Event>,
+    /// Next sequence number == total events ever recorded.
+    next_seq: u64,
+}
+
+/// A fixed-capacity, overwrite-oldest ring of [`Event`]s.
+#[derive(Debug)]
+pub struct EventRing {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl EventRing {
+    /// A ring holding at most `capacity` events (0 = record nothing).
+    pub fn new(capacity: usize) -> EventRing {
+        EventRing {
+            capacity,
+            state: Mutex::new(RingState {
+                slots: Vec::with_capacity(capacity.min(1024)),
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Maximum number of retained events.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().slots.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total events ever recorded (retained + overwritten).
+    pub fn total_recorded(&self) -> u64 {
+        self.state.lock().unwrap().next_seq
+    }
+
+    /// Record an event; the oldest retained event is overwritten once
+    /// the ring is full.
+    pub fn record(&self, tick: u64, kind: EventKind) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut state = self.state.lock().unwrap();
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        let event = Event { seq, tick, kind };
+        if state.slots.len() < self.capacity {
+            state.slots.push(event);
+        } else {
+            let idx = (seq % self.capacity as u64) as usize;
+            state.slots[idx] = event;
+        }
+    }
+
+    /// Copy out the retained events in sequence order (oldest first).
+    pub fn snapshot(&self) -> Vec<Event> {
+        let state = self.state.lock().unwrap();
+        let mut events = state.slots.clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Retained events whose kind name equals `name`, oldest first.
+    pub fn events_named(&self, name: &str) -> Vec<Event> {
+        self.snapshot()
+            .into_iter()
+            .filter(|e| e.kind.name() == name)
+            .collect()
+    }
+
+    /// Drop all retained events (sequence numbers keep advancing).
+    pub fn clear(&self) {
+        self.state.lock().unwrap().slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip(collector: u8) -> EventKind {
+        EventKind::LivenessFlip {
+            collector,
+            live: false,
+        }
+    }
+
+    #[test]
+    fn retains_most_recent_in_order() {
+        let ring = EventRing::new(3);
+        for i in 0..5u8 {
+            ring.record(i as u64 * 10, flip(i));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+        assert_eq!(events[0].tick, 20);
+        assert_eq!(ring.total_recorded(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let ring = EventRing::new(0);
+        ring.record(1, flip(0));
+        assert!(ring.is_empty());
+        assert_eq!(ring.total_recorded(), 0);
+    }
+
+    #[test]
+    fn filter_by_name() {
+        let ring = EventRing::new(8);
+        ring.record(1, flip(0));
+        ring.record(
+            2,
+            EventKind::SlotWrite {
+                collector: 1,
+                va: 0x4000_0000,
+                len: 16,
+                fresh: true,
+            },
+        );
+        ring.record(3, flip(1));
+        let flips = ring.events_named("liveness_flip");
+        assert_eq!(flips.len(), 2);
+        assert_eq!(ring.events_named("slot_write").len(), 1);
+        assert_eq!(ring.events_named("nope").len(), 0);
+    }
+}

@@ -59,6 +59,48 @@ pub enum DropReason {
     DegradedLink,
 }
 
+impl DropReason {
+    /// Every variant, in pipeline order. Consumers that enumerate drop
+    /// reasons (histograms, metric registries) must iterate this const
+    /// instead of hand-listing variants; `tests` pins its completeness
+    /// with an exhaustive match so adding a variant without extending
+    /// `ALL` fails to compile the test suite.
+    pub const ALL: [DropReason; 13] = [
+        DropReason::NotForUs,
+        DropReason::Malformed,
+        DropReason::IpChecksum,
+        DropReason::NotRoce,
+        DropReason::Icrc,
+        DropReason::QpNotFound,
+        DropReason::TransportMismatch,
+        DropReason::Psn,
+        DropReason::BadRkey,
+        DropReason::AccessViolation,
+        DropReason::CollectorDown,
+        DropReason::Blackholed,
+        DropReason::DegradedLink,
+    ];
+
+    /// A stable snake_case name for counters, exporters and event logs.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DropReason::NotForUs => "not_for_us",
+            DropReason::Malformed => "malformed",
+            DropReason::IpChecksum => "ip_checksum",
+            DropReason::NotRoce => "not_roce",
+            DropReason::Icrc => "icrc",
+            DropReason::QpNotFound => "qp_not_found",
+            DropReason::TransportMismatch => "transport_mismatch",
+            DropReason::Psn => "psn",
+            DropReason::BadRkey => "bad_rkey",
+            DropReason::AccessViolation => "access_violation",
+            DropReason::CollectorDown => "collector_down",
+            DropReason::Blackholed => "blackholed",
+            DropReason::DegradedLink => "degraded_link",
+        }
+    }
+}
+
 /// Host-side API errors (not packet drops).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NicError {
@@ -93,6 +135,10 @@ pub enum RxAction {
         va: u64,
         /// Bytes written.
         len: usize,
+        /// Whether the target range was all-zero before the DMA (first
+        /// report into the slot) as opposed to overwriting an earlier
+        /// report.
+        fresh: bool,
     },
     /// An atomic executed; `original` is the value before the operation.
     AtomicExecuted {
@@ -133,6 +179,12 @@ pub struct NicCounters {
     pub frames_rx: u64,
     /// RDMA WRITEs executed.
     pub writes: u64,
+    /// WRITEs that landed in a previously all-zero target range
+    /// (first report into the slot).
+    pub writes_fresh: u64,
+    /// WRITEs that overwrote non-zero bytes (newer report, or a
+    /// colliding key, replacing an older one — §4's overwrite model).
+    pub writes_overwritten: u64,
     /// Payload bytes DMA'd by WRITEs.
     pub write_bytes: u64,
     /// FETCH_ADD operations executed.
@@ -168,16 +220,29 @@ pub struct NicCounters {
 impl NicCounters {
     /// Total dropped frames.
     pub fn dropped(&self) -> u64 {
-        self.not_for_us
-            + self.malformed
-            + self.ip_checksum
-            + self.not_roce
-            + self.icrc
-            + self.qp_not_found
-            + self.transport_mismatch
-            + self.psn
-            + self.bad_rkey
-            + self.access_violations
+        DropReason::ALL.iter().map(|&r| self.count(r)).sum()
+    }
+
+    /// The drop counter for `reason`. The match is exhaustive on
+    /// purpose: adding a `DropReason` variant without deciding where it
+    /// is counted becomes a compile error here. The fabric-emitted
+    /// reasons (`CollectorDown`/`Blackholed`/`DegradedLink`) never
+    /// reach a NIC, so their NIC-side count is zero by construction —
+    /// `dta-collector`'s `FaultDrops` owns those.
+    pub fn count(&self, reason: DropReason) -> u64 {
+        match reason {
+            DropReason::NotForUs => self.not_for_us,
+            DropReason::Malformed => self.malformed,
+            DropReason::IpChecksum => self.ip_checksum,
+            DropReason::NotRoce => self.not_roce,
+            DropReason::Icrc => self.icrc,
+            DropReason::QpNotFound => self.qp_not_found,
+            DropReason::TransportMismatch => self.transport_mismatch,
+            DropReason::Psn => self.psn,
+            DropReason::BadRkey => self.bad_rkey,
+            DropReason::AccessViolation => self.access_violations,
+            DropReason::CollectorDown | DropReason::Blackholed | DropReason::DegradedLink => 0,
+        }
     }
 }
 
@@ -423,15 +488,32 @@ impl RNic {
                         return (RxAction::Dropped(DropReason::BadRkey), None);
                     }
                 };
+                // Classify fresh vs. overwrite before the DMA clobbers
+                // the evidence. The region may deny remote reads
+                // (DART_COLLECTOR), so peek through the host-side
+                // handle rather than `mr.read`.
+                let offset = reth.virtual_addr.wrapping_sub(mr.base_va()) as usize;
+                let fresh = mr.handle().with(|mem| {
+                    offset
+                        .checked_add(payload.len())
+                        .and_then(|end| mem.get(offset..end))
+                        .is_some_and(|range| range.iter().all(|&b| b == 0))
+                });
                 match mr.write(reth.virtual_addr, payload) {
                     Ok(()) => {
                         self.counters.writes += 1;
+                        if fresh {
+                            self.counters.writes_fresh += 1;
+                        } else {
+                            self.counters.writes_overwritten += 1;
+                        }
                         self.counters.write_bytes += payload.len() as u64;
                         (
                             RxAction::WriteExecuted {
                                 rkey: reth.rkey,
                                 va: reth.virtual_addr,
                                 len: payload.len(),
+                                fresh,
                             },
                             None,
                         )
@@ -662,7 +744,8 @@ mod tests {
             RxAction::WriteExecuted {
                 rkey: RKEY,
                 va: 0x10010,
-                len: 16
+                len: 16,
+                fresh: true
             }
         );
         assert!(outcome.response.is_none(), "UC generates no ACKs");
@@ -935,6 +1018,76 @@ mod tests {
         assert_eq!(c.frames_rx, 2);
         assert_eq!(c.writes, 1);
         assert_eq!(c.dropped(), 1);
+    }
+
+    #[test]
+    fn writes_classified_fresh_vs_overwrite() {
+        let mut nic = nic();
+        // First write into zeroed memory: fresh.
+        let a = nic.handle_frame(&write_frame(0, 0x10010, b"report-aaaaaaaaa"));
+        assert!(matches!(
+            a.action,
+            RxAction::WriteExecuted { fresh: true, .. }
+        ));
+        // Same slot again: overwrite.
+        let b = nic.handle_frame(&write_frame(1, 0x10010, b"report-bbbbbbbbb"));
+        assert!(matches!(
+            b.action,
+            RxAction::WriteExecuted { fresh: false, .. }
+        ));
+        // A different, untouched slot: fresh again.
+        let c = nic.handle_frame(&write_frame(2, 0x10110, b"report-ccccccccc"));
+        assert!(matches!(
+            c.action,
+            RxAction::WriteExecuted { fresh: true, .. }
+        ));
+        let counters = nic.counters();
+        assert_eq!(counters.writes_fresh, 2);
+        assert_eq!(counters.writes_overwritten, 1);
+        assert_eq!(
+            counters.writes,
+            counters.writes_fresh + counters.writes_overwritten
+        );
+    }
+
+    #[test]
+    fn drop_reason_all_is_exhaustive() {
+        // Compile-time: this match must name every variant; adding one
+        // without extending it is a build failure.
+        let index_of = |r: DropReason| -> usize {
+            match r {
+                DropReason::NotForUs => 0,
+                DropReason::Malformed => 1,
+                DropReason::IpChecksum => 2,
+                DropReason::NotRoce => 3,
+                DropReason::Icrc => 4,
+                DropReason::QpNotFound => 5,
+                DropReason::TransportMismatch => 6,
+                DropReason::Psn => 7,
+                DropReason::BadRkey => 8,
+                DropReason::AccessViolation => 9,
+                DropReason::CollectorDown => 10,
+                DropReason::Blackholed => 11,
+                DropReason::DegradedLink => 12,
+            }
+        };
+        // Runtime: ALL covers each variant exactly once...
+        let mut seen = [false; DropReason::ALL.len()];
+        for &reason in DropReason::ALL.iter() {
+            let i = index_of(reason);
+            assert!(!seen[i], "{reason:?} listed twice in ALL");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "ALL misses a variant");
+        // ...with distinct stable names, and count() accepts each.
+        let counters = NicCounters::default();
+        let mut names: Vec<&str> = DropReason::ALL.iter().map(|r| r.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), DropReason::ALL.len());
+        for &reason in DropReason::ALL.iter() {
+            assert_eq!(counters.count(reason), 0);
+        }
     }
 
     #[test]

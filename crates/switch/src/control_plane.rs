@@ -14,6 +14,7 @@
 //! per packet.
 
 use dta_core::hash::LivenessMask;
+use dta_obs::{Counter, EventKind, Obs};
 use dta_rdma::verbs::RemoteEndpoint;
 
 use crate::egress::{DartEgress, SwitchError};
@@ -114,6 +115,16 @@ struct ProbePeer {
 pub struct HealthMonitor {
     config: ProbeConfig,
     peers: Vec<ProbePeer>,
+    obs: Option<MonitorObs>,
+}
+
+/// Cached observability handles for the probe loop.
+#[derive(Debug)]
+struct MonitorObs {
+    obs: Obs,
+    probes: Counter,
+    misses: Counter,
+    flips: Counter,
 }
 
 impl HealthMonitor {
@@ -132,7 +143,20 @@ impl HealthMonitor {
                 };
                 collectors as usize
             ],
+            obs: None,
         }
+    }
+
+    /// Attach an observability handle: probe counters under
+    /// `dta_monitor_*`, plus `probe_miss` / `probe_backoff` /
+    /// `liveness_flip` lifecycle events in the ring.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = Some(MonitorObs {
+            probes: obs.counter("dta_monitor_probes_total"),
+            misses: obs.counter("dta_monitor_probe_misses_total"),
+            flips: obs.counter("dta_monitor_liveness_flips_total"),
+            obs: obs.clone(),
+        });
     }
 
     /// The monitor's current liveness verdicts as a mask.
@@ -161,25 +185,55 @@ impl HealthMonitor {
             let acked = probe(id as u32);
             let cfg = self.config;
             let peer = &mut self.peers[id];
+            if let Some(o) = &self.obs {
+                o.probes.inc();
+            }
             if acked {
                 // Any ACK restores full health: reset the miss count and
                 // the backed-off cadence.
                 if !peer.live {
                     peer.live = true;
                     changed = true;
+                    if let Some(o) = &self.obs {
+                        o.flips.inc();
+                        o.obs.event(EventKind::LivenessFlip {
+                            collector: id as u8,
+                            live: true,
+                        });
+                    }
                 }
                 peer.misses = 0;
                 peer.backoff = cfg.interval;
             } else {
                 peer.misses += 1;
+                if let Some(o) = &self.obs {
+                    o.misses.inc();
+                    o.obs.event(EventKind::ProbeMiss {
+                        collector: id as u8,
+                        misses: peer.misses,
+                    });
+                }
                 if peer.live && peer.misses >= cfg.miss_threshold {
                     peer.live = false;
                     changed = true;
+                    if let Some(o) = &self.obs {
+                        o.flips.inc();
+                        o.obs.event(EventKind::LivenessFlip {
+                            collector: id as u8,
+                            live: false,
+                        });
+                    }
                 }
                 if !peer.live {
                     // Exponential backoff while dead — don't hammer a
                     // corpse, but keep probing so recovery is noticed.
                     peer.backoff = (peer.backoff * 2).min(cfg.backoff_max);
+                    if let Some(o) = &self.obs {
+                        o.obs.event(EventKind::ProbeBackoff {
+                            collector: id as u8,
+                            interval: peer.backoff,
+                        });
+                    }
                 }
             }
             peer.next_probe_at = now + peer.backoff;
@@ -343,6 +397,48 @@ mod tests {
             revived < 1000 + 2 * 80,
             "revival detected too late: t={revived}"
         );
+    }
+
+    #[test]
+    fn monitor_logs_flips_misses_and_backoff() {
+        let obs = Obs::new();
+        let mut mon = HealthMonitor::new(1, probe_config());
+        mon.attach_obs(&obs);
+        // Die (3 consecutive misses), stay dead a while, then revive.
+        let mut now = 0;
+        loop {
+            obs.set_tick(now);
+            let acks = now > 200; // collector comes back after t=200
+            if let Some(mask) = mon.tick(now, |_| acks) {
+                if mask.is_live(0) {
+                    break; // revived
+                }
+            }
+            now += 10;
+            assert!(now < 2000, "never revived");
+        }
+        let reg = obs.registry();
+        assert_eq!(
+            reg.counter_value("dta_monitor_liveness_flips_total"),
+            Some(2)
+        );
+        assert!(reg.counter_value("dta_monitor_probe_misses_total").unwrap() >= 3);
+        assert!(reg.counter_value("dta_monitor_probes_total").unwrap() >= 4);
+        // Ring: miss events precede the death flip; a backoff event
+        // exists; the final event set contains a live=true flip.
+        let flips = obs.ring().events_named("liveness_flip");
+        assert_eq!(flips.len(), 2);
+        assert!(matches!(
+            flips[0].kind,
+            EventKind::LivenessFlip { live: false, .. }
+        ));
+        assert!(matches!(
+            flips[1].kind,
+            EventKind::LivenessFlip { live: true, .. }
+        ));
+        assert!(!obs.ring().events_named("probe_backoff").is_empty());
+        let misses = obs.ring().events_named("probe_miss");
+        assert!(misses.iter().any(|e| e.seq < flips[0].seq));
     }
 
     #[test]

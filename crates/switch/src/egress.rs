@@ -19,6 +19,7 @@
 use dta_core::hash::{
     failover_collector, AddressMapping, CrcMapping, FailoverTarget, LivenessMask,
 };
+use dta_obs::{Counter, EventKind, Obs};
 use dta_rdma::verbs::RemoteEndpoint;
 use dta_wire::dart::SlotLayout;
 use dta_wire::roce::{self, BthRepr, Opcode, Psn, RethRepr};
@@ -130,6 +131,16 @@ pub struct EgressCounters {
     pub no_live_collector: u64,
 }
 
+/// Cached observability handles: registered once at attach time so the
+/// per-report path is a lone atomic add per counter.
+struct EgressObs {
+    obs: Obs,
+    reports: Counter,
+    unknown_collector: Counter,
+    failovers: Counter,
+    no_live_collector: Counter,
+}
+
 /// The DART report-crafting engine of one switch.
 pub struct DartEgress {
     identity: SwitchIdentity,
@@ -143,6 +154,7 @@ pub struct DartEgress {
     /// by every report (§6's register-extern-only constraint).
     liveness: RegisterArray<u8>,
     counters: EgressCounters,
+    obs: Option<EgressObs>,
 }
 
 impl DartEgress {
@@ -169,7 +181,22 @@ impl DartEgress {
             psn_registers: RegisterArray::new(collectors),
             liveness,
             counters: EgressCounters::default(),
+            obs: None,
         })
+    }
+
+    /// Attach an observability handle. Counters are registered here,
+    /// once, under `dta_switch_*`; the per-report hot path then only
+    /// performs atomic adds. A [`Obs::noop`] handle keeps the call
+    /// sites valid while recording no events.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.obs = Some(EgressObs {
+            reports: obs.counter("dta_switch_reports_total"),
+            unknown_collector: obs.counter("dta_switch_unknown_collector_total"),
+            failovers: obs.counter("dta_switch_failovers_total"),
+            no_live_collector: obs.counter("dta_switch_no_live_collector_total"),
+            obs: obs.clone(),
+        });
     }
 
     /// The static configuration.
@@ -257,12 +284,26 @@ impl DartEgress {
         }
         match failover_collector(&self.mapping, key, self.liveness_mask()) {
             FailoverTarget::Primary(id) => Ok(id),
-            FailoverTarget::Failover { target, .. } => {
+            FailoverTarget::Failover { primary, target } => {
                 self.counters.failovers += 1;
+                if let Some(o) = &self.obs {
+                    o.failovers.inc();
+                    o.obs.event(EventKind::FailoverRemap {
+                        switch: self.identity.switch_id,
+                        primary: primary as u8,
+                        target: target as u8,
+                    });
+                }
                 Ok(target)
             }
             FailoverTarget::NoneLive => {
                 self.counters.no_live_collector += 1;
+                if let Some(o) = &self.obs {
+                    o.no_live_collector.inc();
+                    o.obs.event(EventKind::NoLiveCollector {
+                        switch: self.identity.switch_id,
+                    });
+                }
                 Err(SwitchError::NoLiveCollector)
             }
         }
@@ -309,6 +350,9 @@ impl DartEgress {
             Some(ep) => *ep,
             None => {
                 self.counters.unknown_collector += 1;
+                if let Some(o) = &self.obs {
+                    o.unknown_collector.inc();
+                }
                 return Err(SwitchError::UnknownCollector(collector_id));
             }
         };
@@ -331,6 +375,15 @@ impl DartEgress {
         let va = endpoint.base_va + slot * slot_len as u64;
         let frame = self.deparse(&endpoint, psn, va, payload);
         self.counters.reports += 1;
+        if let Some(o) = &self.obs {
+            o.reports.inc();
+            o.obs.event(EventKind::ReportCrafted {
+                switch: self.identity.switch_id,
+                collector: collector_id as u8,
+                copy,
+                psn: psn.value(),
+            });
+        }
         Ok(CraftedReport {
             collector_id,
             copy,
@@ -363,6 +416,9 @@ impl DartEgress {
             Some(ep) => *ep,
             None => {
                 self.counters.unknown_collector += 1;
+                if let Some(o) = &self.obs {
+                    o.unknown_collector.inc();
+                }
                 return Err(SwitchError::UnknownCollector(collector_id));
             }
         };
@@ -408,6 +464,15 @@ impl DartEgress {
         };
         let frame = self.deparse_packet(&endpoint, &packet);
         self.counters.reports += 1;
+        if let Some(o) = &self.obs {
+            o.reports.inc();
+            o.obs.event(EventKind::ReportCrafted {
+                switch: self.identity.switch_id,
+                collector: collector_id as u8,
+                copy: 0,
+                psn: psn.value(),
+            });
+        }
         Ok(CraftedReport {
             collector_id,
             copy: 0,
@@ -775,6 +840,46 @@ mod tests {
         );
         assert_eq!(e.counters().no_live_collector, 1);
         assert_eq!(e.liveness_mask().live_count(), 0);
+    }
+
+    #[test]
+    fn obs_counts_reports_and_failovers() {
+        let mut e = egress_pair();
+        let obs = Obs::new();
+        e.attach_obs(&obs);
+        let mapping = CrcMapping::new();
+        let primary = mapping.collector(b"fo-key", 2);
+
+        e.craft_report_copy(b"fo-key", &[1u8; 20], 0).unwrap();
+        e.set_collector_liveness(primary, false).unwrap();
+        e.craft_report_copy(b"fo-key", &[1u8; 20], 1).unwrap();
+
+        let reg = obs.registry();
+        assert_eq!(reg.counter_value("dta_switch_reports_total"), Some(2));
+        assert_eq!(reg.counter_value("dta_switch_failovers_total"), Some(1));
+        // Lifecycle events: two crafts, one remap, in order.
+        let crafted = obs.ring().events_named("report_crafted");
+        assert_eq!(crafted.len(), 2);
+        let remaps = obs.ring().events_named("failover_remap");
+        assert_eq!(remaps.len(), 1);
+        match remaps[0].kind {
+            EventKind::FailoverRemap {
+                primary: p, target, ..
+            } => {
+                assert_eq!(u32::from(p), primary);
+                assert_eq!(u32::from(target), 1 - primary);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+
+        // All dead: the craft fails and the drop is visible.
+        e.set_collector_liveness(1 - primary, false).unwrap();
+        assert!(e.craft_report_copy(b"fo-key", &[1u8; 20], 0).is_err());
+        assert_eq!(
+            reg.counter_value("dta_switch_no_live_collector_total"),
+            Some(1)
+        );
+        assert_eq!(obs.ring().events_named("no_live_collector").len(), 1);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use dta_collector::{CollectorCluster, CollectorHealth, FaultDrops};
 use dta_core::config::DartConfig;
 use dta_core::hash::MappingKind;
 use dta_core::query::{classify, QueryClass, QueryOutcome, ReturnPolicy};
+use dta_obs::{EventKind, Obs};
 use dta_rdma::link::{link, FaultModel, LinkRx, LinkStats, LinkTx};
 use dta_rdma::nic::DropReason;
 use dta_switch::control_plane::{ControlPlane, HealthMonitor, ProbeConfig};
@@ -219,11 +220,27 @@ pub struct FatTreeSim {
     pending_faults: Vec<CollectorFault>,
     /// `(due_frame, collector)` recoveries for fired faults.
     pending_recoveries: Vec<(u64, u32)>,
+    obs: Obs,
+    /// `LinkStats::dropped` at the last drain, so link-level losses can
+    /// be logged as individual events.
+    link_dropped_seen: u64,
 }
 
 impl FatTreeSim {
     /// Build the full system: tree, switches, collectors, links.
+    ///
+    /// Observability is a no-op by default (zero-cost call sites); use
+    /// [`FatTreeSim::new_with_obs`] to trace every report's life.
     pub fn new(config: SimConfig) -> Result<FatTreeSim, SimError> {
+        Self::new_with_obs(config, Obs::noop())
+    }
+
+    /// Like [`FatTreeSim::new`], threading `obs` through every stage:
+    /// switch egresses (report crafting, failover remaps), the health
+    /// monitor (probe misses, liveness flips, backoff), the link (frame
+    /// events), and the cluster (NIC verdicts, slot writes, query
+    /// probes and decisions).
+    pub fn new_with_obs(config: SimConfig, obs: Obs) -> Result<FatTreeSim, SimError> {
         let tree = FatTree::new(config.k)?;
         let layout = SlotLayout {
             checksum: config.checksum,
@@ -241,6 +258,7 @@ impl FatTreeSim {
             .policy(config.policy)
             .build()?;
         let mut cluster = CollectorCluster::with_fault_seed(dart_config, config.seed ^ 0xFA17)?;
+        cluster.attach_obs(&obs);
 
         // Switches, each running the real egress pipeline.
         let egress_config = EgressConfig {
@@ -265,12 +283,14 @@ impl FatTreeSim {
             ControlPlane::new()
                 .install_directory(sw.egress_mut(), &directory)
                 .map_err(|e| SimError::Switch(IntError::Switch(e)))?;
+            sw.egress_mut().attach_obs(&obs);
             switches.insert(id, sw);
         }
 
         let (tx, rx) = link(config.fault, config.seed ^ 0x11A);
         let flowgen = FlowGenerator::new(tree, config.skew, config.seed ^ 0xF10);
-        let monitor = HealthMonitor::new(config.collectors, config.probe);
+        let mut monitor = HealthMonitor::new(config.collectors, config.probe);
+        monitor.attach_obs(&obs);
         let pending_faults = config.faults.clone();
         Ok(FatTreeSim {
             tree,
@@ -284,7 +304,14 @@ impl FatTreeSim {
             monitor,
             pending_faults,
             pending_recoveries: Vec::new(),
+            obs,
+            link_dropped_seen: 0,
         })
+    }
+
+    /// The observability handle this simulator reports into.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The underlying topology.
@@ -341,14 +368,38 @@ impl FatTreeSim {
         }
 
         // Drain the wire into the collectors.
-        self.tx.flush();
-        while let Some(frame) = self.rx.try_recv() {
-            self.cluster.deliver(&frame);
-        }
+        self.drain_link();
         self.advance_faults();
 
         self.truths.push((flow.tuple, truth));
         Ok(flow.tuple)
+    }
+
+    /// Flush the link and feed every delivered frame to the cluster,
+    /// logging link-level outcomes and advancing the observability
+    /// clock to the frame count.
+    fn drain_link(&mut self) {
+        self.tx.flush();
+        while let Some(frame) = self.rx.try_recv() {
+            if self.obs.is_enabled() {
+                self.obs.event(EventKind::LinkFrame { delivered: true });
+            }
+            self.cluster.deliver(&frame);
+        }
+        let stats = self.tx.stats();
+        if self.obs.is_enabled() {
+            for _ in self.link_dropped_seen..stats.dropped {
+                self.obs.event(EventKind::LinkFrame { delivered: false });
+            }
+            let registry = self.obs.registry();
+            registry.gauge("dta_link_sent").set(stats.sent as i64);
+            registry
+                .gauge("dta_link_delivered")
+                .set(stats.delivered as i64);
+            registry.gauge("dta_link_dropped").set(stats.dropped as i64);
+        }
+        self.link_dropped_seen = stats.dropped;
+        self.obs.set_tick(stats.sent);
     }
 
     /// Advance the chaos machinery to the current frame clock: fire due
@@ -457,10 +508,7 @@ impl FatTreeSim {
                 self.tx.send(report.frame);
             }
         }
-        self.tx.flush();
-        while let Some(frame) = self.rx.try_recv() {
-            self.cluster.deliver(&frame);
-        }
+        self.drain_link();
         self.advance_faults();
         Ok((flow.tuple, route))
     }
@@ -529,6 +577,23 @@ impl FatTreeSim {
             }
         }
         self.truths = truths;
+
+        // Fold the §5 outcome tallies onto the registry, so exporters
+        // see the same numbers the report carries.
+        if self.obs.is_enabled() {
+            let registry = self.obs.registry();
+            registry
+                .counter("dta_sim_queries_correct_total")
+                .add(correct);
+            registry.counter("dta_sim_queries_empty_total").add(empty);
+            registry.counter("dta_sim_queries_error_total").add(error);
+            registry
+                .counter("dta_sim_queries_unreachable_total")
+                .add(unreachable);
+            registry
+                .gauge("dta_sim_nic_writes")
+                .set(self.cluster.total_writes() as i64);
+        }
 
         SimReport {
             correct,
@@ -761,6 +826,60 @@ mod tests {
         let report = sim.query_all(2);
         assert!(report.fault_drops[2].blackholed > 0);
         assert_eq!(report.error, 0);
+    }
+
+    #[test]
+    fn obs_traces_the_full_report_lifecycle() {
+        let obs = Obs::new();
+        let mut sim = FatTreeSim::new_with_obs(
+            SimConfig {
+                slots: 1 << 12,
+                ..SimConfig::default()
+            },
+            obs.clone(),
+        )
+        .unwrap();
+        let tuple = sim.run_flow().unwrap();
+        assert!(sim.query_flow(&tuple).is_answer());
+
+        // One flow's full life, in causal order: the sink egress crafts
+        // N = 2 copies, the link carries them, the NIC writes two slots,
+        // and the query probes both before the policy decides.
+        let ring = obs.ring();
+        let crafted = ring.events_named("report_crafted");
+        assert_eq!(crafted.len(), 2);
+        assert!(!ring.events_named("link_frame").is_empty());
+        let writes = ring.events_named("slot_write");
+        assert_eq!(writes.len(), 2);
+        let probes = ring.events_named("query_probe");
+        assert_eq!(probes.len(), 2);
+        let decisions = ring.events_named("query_decision");
+        assert_eq!(decisions.len(), 1);
+        assert!(crafted[0].seq < writes[0].seq);
+        assert!(writes.last().unwrap().seq < probes[0].seq);
+        assert!(probes.last().unwrap().seq < decisions[0].seq);
+        assert!(matches!(
+            decisions[0].kind,
+            EventKind::QueryDecision { answered: true, .. }
+        ));
+
+        // The registry agrees with the SimReport it mirrors.
+        let report = sim.query_all(1);
+        let registry = obs.registry();
+        assert_eq!(
+            registry.counter_value("dta_sim_queries_correct_total"),
+            Some(report.correct)
+        );
+        assert_eq!(
+            registry
+                .counter_value("dta_nic_writes_fresh_total")
+                .unwrap()
+                + registry
+                    .counter_value("dta_nic_writes_overwritten_total")
+                    .unwrap(),
+            report.nic_writes
+        );
+        assert_eq!(registry.counter_value("dta_switch_reports_total"), Some(2));
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! Wall-clock smoke test: running the simulator with live metrics must
+//! cost less than 5% over the no-op observability handle. Ignored by
+//! default (timing-sensitive); CI runs it in release with `--ignored`.
+
+use std::time::{Duration, Instant};
+
+use dta_obs::Obs;
+use dta_topology::sim::{FatTreeSim, SimConfig};
+
+fn run_once(obs: Obs, flows: u64) -> Duration {
+    let mut sim = FatTreeSim::new_with_obs(
+        SimConfig {
+            slots: 1 << 12,
+            seed: 0x0B5,
+            ..SimConfig::default()
+        },
+        obs,
+    )
+    .unwrap();
+    let start = Instant::now();
+    sim.run_flows(flows).unwrap();
+    start.elapsed()
+}
+
+#[test]
+#[ignore = "wall-clock comparison; run in release via cargo test --release -- --ignored"]
+fn obs_overhead_stays_under_five_percent() {
+    const FLOWS: u64 = 2_000;
+    // Warm both paths (page in code, fill allocator pools).
+    run_once(Obs::noop(), 200);
+    run_once(Obs::new(), 200);
+    // Best-of-three on each side irons out scheduler noise.
+    let noop = (0..3).map(|_| run_once(Obs::noop(), FLOWS)).min().unwrap();
+    let live = (0..3).map(|_| run_once(Obs::new(), FLOWS)).min().unwrap();
+    let ratio = live.as_secs_f64() / noop.as_secs_f64();
+    assert!(
+        ratio < 1.05,
+        "metrics overhead {:.1}% exceeds 5% (noop {noop:?}, live {live:?})",
+        (ratio - 1.0) * 100.0
+    );
+}

@@ -13,6 +13,7 @@ use direct_telemetry_access::collector::query_service::{Answer, QueryService};
 use direct_telemetry_access::collector::CollectorCluster;
 use direct_telemetry_access::core::config::DartConfig;
 use direct_telemetry_access::core::hash::MappingKind;
+use direct_telemetry_access::obs::{MetricValue, Obs};
 use direct_telemetry_access::switch::control_plane::ControlPlane;
 use direct_telemetry_access::switch::egress::{DartEgress, EgressConfig};
 use direct_telemetry_access::switch::SwitchIdentity;
@@ -49,6 +50,10 @@ fn main() {
         .unwrap();
     let mut cluster = CollectorCluster::new(config).unwrap();
 
+    // Observability: every stage below reports into this handle.
+    let obs = Obs::new();
+    cluster.attach_obs(&obs);
+
     // One reporting switch stands in for the network.
     let mut egress = DartEgress::new(
         SwitchIdentity::derived(7),
@@ -69,6 +74,7 @@ fn main() {
     ControlPlane::new()
         .install_directory(&mut egress, &directory)
         .unwrap();
+    egress.attach_obs(&obs);
 
     // Telemetry from four backends, all through the same RDMA path.
     let mut stack = IntStack::new();
@@ -166,4 +172,51 @@ fn main() {
         "\nconsole session: {} answered, {} empty, {} garbled",
         stats.answered, stats.empty, stats.garbled
     );
+
+    // Why did the path query answer? Replay it through query-explain.
+    let explain = console.explain_int_path(&flow());
+    println!("\nquery-explain: path of {}", flow());
+    println!(
+        "  key -> collector {} routing {:?}",
+        explain.key_collector, explain.routing
+    );
+    for candidate in &explain.candidates {
+        match &candidate.explain {
+            Some(store) => {
+                for probe in &store.probes {
+                    println!(
+                        "  collector {} copy {} slot {:>5}  occupied={} checksum_match={}",
+                        candidate.collector,
+                        probe.copy,
+                        probe.slot,
+                        probe.occupied,
+                        probe.checksum_matched
+                    );
+                }
+                println!(
+                    "  decision: {} under {:?} -> {}",
+                    store.reason.name(),
+                    store.policy,
+                    if store.outcome.is_answer() {
+                        "answered"
+                    } else {
+                        "abstained"
+                    }
+                );
+            }
+            None => println!("  collector {} unreachable", candidate.collector),
+        }
+    }
+
+    // The session's metrics, straight off the registry.
+    println!("\nmetrics snapshot:");
+    for metric in obs.registry().snapshot() {
+        match metric.value {
+            MetricValue::Counter(v) => println!("  {:<42} {v}", metric.name),
+            MetricValue::Gauge(v) => println!("  {:<42} {v}", metric.name),
+            MetricValue::Histogram(h) => {
+                println!("  {:<42} count={} sum={}", metric.name, h.count, h.sum)
+            }
+        }
+    }
 }

@@ -19,12 +19,15 @@
 //!   the end-to-end simulator.
 //! * [`collector`] — DART collectors plus the CPU-bound baselines
 //!   (socket/Kafka-like, DPDK/Confluo-like) used by Figure 1.
+//! * [`obs`] — allocation-free metrics registry, report-lifecycle event
+//!   ring, and Prometheus/JSONL exporters.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
 pub use dta_analysis as analysis;
 pub use dta_collector as collector;
 pub use dta_core as core;
+pub use dta_obs as obs;
 pub use dta_rdma as rdma;
 pub use dta_switch as switch;
 pub use dta_telemetry as telemetry;

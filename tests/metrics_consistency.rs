@@ -1,0 +1,243 @@
+//! Cross-layer metric identities: the observability registry, the NIC's
+//! own counters, the event ring, and the `SimReport` tallies must all
+//! tell the same story — and query-explain must classify forced empty
+//! returns and forced return errors exactly as §4 predicts.
+
+use direct_telemetry_access::collector::CollectorCluster;
+use direct_telemetry_access::core::config::DartConfig;
+use direct_telemetry_access::core::hash::{AddressMapping, CrcMapping, MappingKind};
+use direct_telemetry_access::core::query::{classify, QueryClass, QueryOutcome, ReturnPolicy};
+use direct_telemetry_access::obs::{EventKind, Obs};
+use direct_telemetry_access::topology::sim::{FatTreeSim, SimConfig};
+use direct_telemetry_access::wire::{ethernet, ipv4};
+
+#[test]
+fn write_counters_agree_across_layers() {
+    // Overload a small store so both fresh writes and overwrites occur.
+    let obs = Obs::with_capacity(1 << 16);
+    let mut sim = FatTreeSim::new_with_obs(
+        SimConfig {
+            slots: 256,
+            seed: 0xC0,
+            ..SimConfig::default()
+        },
+        obs.clone(),
+    )
+    .unwrap();
+    sim.run_flows(512).unwrap();
+
+    let registry = obs.registry();
+    let fresh = registry
+        .counter_value("dta_nic_writes_fresh_total")
+        .unwrap();
+    let overwritten = registry
+        .counter_value("dta_nic_writes_overwritten_total")
+        .unwrap();
+    assert!(overwritten > 0, "overload must force overwrites");
+
+    // Identity: the per-stage registry counters sum to the NIC total…
+    let nic_writes = sim.cluster().total_writes();
+    assert_eq!(fresh + overwritten, nic_writes);
+
+    // …agree with the NIC's own fresh/overwrite split…
+    let counters = sim.cluster().collector(0).unwrap().nic_counters();
+    assert_eq!(counters.writes_fresh, fresh);
+    assert_eq!(counters.writes_overwritten, overwritten);
+    assert_eq!(counters.writes, nic_writes);
+
+    // …and with the event ring, event by event.
+    let writes = obs.ring().events_named("slot_write");
+    assert_eq!(writes.len() as u64, nic_writes);
+    let fresh_events = writes
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::SlotWrite { fresh: true, .. }))
+        .count();
+    assert_eq!(fresh_events as u64, fresh);
+}
+
+#[test]
+fn query_outcome_counters_sum_to_total() {
+    let obs = Obs::new();
+    let mut sim = FatTreeSim::new_with_obs(
+        SimConfig {
+            slots: 256,
+            collectors: 2,
+            seed: 0xC1,
+            ..SimConfig::default()
+        },
+        obs.clone(),
+    )
+    .unwrap();
+    sim.run_flows(400).unwrap();
+    let report = sim.query_all(4);
+    assert_eq!(
+        report.correct + report.empty + report.error + report.unreachable,
+        report.total()
+    );
+    // The registry's four outcome counters partition the same total.
+    let registry = obs.registry();
+    let folded: u64 = ["correct", "empty", "error", "unreachable"]
+        .iter()
+        .map(|k| {
+            registry
+                .counter_value(&format!("dta_sim_queries_{k}_total"))
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(folded, report.total());
+}
+
+fn single_collector_config() -> DartConfig {
+    DartConfig::builder()
+        .slots(1024)
+        .copies(2)
+        .collectors(1)
+        .mapping(MappingKind::Crc)
+        .policy(ReturnPolicy::FirstMatch)
+        .build()
+        .unwrap()
+}
+
+/// An RDMA WRITE landing `value` in `key`'s slot for `copy`, stamped
+/// with an explicit stored checksum (so tests can corrupt it).
+fn frame_with_checksum(
+    cluster: &CollectorCluster,
+    key: &[u8],
+    value: &[u8],
+    copy: u8,
+    psn: u32,
+    checksum: u32,
+) -> Vec<u8> {
+    let mapping = CrcMapping::new();
+    let cfg = single_collector_config();
+    let slot = mapping.slot(key, copy, cfg.slots);
+    let layout = cfg.layout;
+    let mut payload = vec![0u8; layout.slot_len()];
+    layout.encode(checksum, value, &mut payload).unwrap();
+    let ep = cluster.collector(0).unwrap().endpoint();
+    direct_telemetry_access::rdma::nic::build_roce_frame(
+        ethernet::Address([0x02, 0, 0, 0, 0, 9]),
+        ep.mac,
+        ipv4::Address([10, 0, 0, 9]),
+        ep.ip,
+        49152,
+        &direct_telemetry_access::wire::roce::RoceRepr::Write {
+            bth: direct_telemetry_access::wire::roce::BthRepr {
+                opcode: direct_telemetry_access::wire::roce::Opcode::UcRdmaWriteOnly,
+                solicited: false,
+                migration: true,
+                pad_count: 0,
+                partition_key: 0xFFFF,
+                dest_qp: ep.qpn,
+                ack_request: false,
+                psn,
+            },
+            reth: direct_telemetry_access::wire::roce::RethRepr {
+                virtual_addr: ep.base_va + slot * layout.slot_len() as u64,
+                rkey: ep.rkey,
+                dma_len: layout.slot_len() as u32,
+            },
+            payload,
+        },
+    )
+}
+
+#[test]
+fn explain_classifies_forced_empty_and_return_error() {
+    let mut cluster = CollectorCluster::new(single_collector_config()).unwrap();
+    let mapping = CrcMapping::new();
+    let mut psn = 0u32;
+    let mut deliver = |cluster: &mut CollectorCluster, key: &[u8], value: &[u8], sum: u32| {
+        for copy in 0..2 {
+            let frame = frame_with_checksum(cluster, key, value, copy, psn, sum);
+            cluster.deliver(&frame);
+            psn += 1;
+        }
+    };
+
+    // Forced return error (§4's collision overwrite): the key's truth is
+    // written, then every copy is overwritten by a colliding report that
+    // kept the same stored checksum but carries another value.
+    let key = b"victim-key";
+    let truth = vec![0xAA; 20];
+    let lie = vec![0xBB; 20];
+    let sum = mapping.key_checksum(key);
+    deliver(&mut cluster, key, &truth, sum);
+    deliver(&mut cluster, key, &lie, sum);
+    let explain = cluster.query_explain(key);
+    let outcome = explain.outcome.clone().unwrap();
+    assert_eq!(outcome, QueryOutcome::Answer(lie));
+    assert_eq!(classify(&outcome, &truth), QueryClass::ReturnError);
+    let store = explain.candidates[0].explain.as_ref().unwrap();
+    assert!(
+        store
+            .probes
+            .iter()
+            .all(|p| p.occupied && p.checksum_matched),
+        "a collision overwrite leaves every checksum matching: {store:?}"
+    );
+    assert_eq!(store.reason.name(), "answered");
+
+    // Forced empty return: reports arrive but with a corrupted stored
+    // checksum, so no probed slot matches the key.
+    let key = b"mismatch-key";
+    let sum = mapping.key_checksum(key) ^ 0xFFFF_FFFF;
+    deliver(&mut cluster, key, &[0xCC; 20], sum);
+    let explain = cluster.query_explain(key);
+    assert_eq!(explain.outcome, Ok(QueryOutcome::Empty));
+    assert_eq!(explain.answered_by, None);
+    let store = explain.candidates[0].explain.as_ref().unwrap();
+    assert!(
+        store
+            .probes
+            .iter()
+            .all(|p| p.occupied && !p.checksum_matched),
+        "corrupted checksums must be probed-but-unmatched: {store:?}"
+    );
+    assert_eq!(store.reason.name(), "no_slot_matched");
+}
+
+#[test]
+fn explain_outcomes_tally_with_plain_queries() {
+    // Overload one collector, then classify every key twice — through
+    // the plain query and through explain — and require identical
+    // outcome tallies (correct + empty + error == keys).
+    let mut cluster = CollectorCluster::new(single_collector_config()).unwrap();
+    let mapping = CrcMapping::new();
+    let mut psn = 0u32;
+    let keys: Vec<(Vec<u8>, Vec<u8>)> = (0..256u64)
+        .map(|i| {
+            let key = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).to_be_bytes().to_vec();
+            let mut value = vec![0u8; 20];
+            value[..8].copy_from_slice(&i.to_be_bytes());
+            (key, value)
+        })
+        .collect();
+    for (key, value) in &keys {
+        let sum = mapping.key_checksum(key);
+        for copy in 0..2 {
+            let frame = frame_with_checksum(&cluster, key, value, copy, psn, sum);
+            cluster.deliver(&frame);
+            psn += 1;
+        }
+    }
+
+    let mut plain_tally = [0u64; 3];
+    let mut explain_tally = [0u64; 3];
+    let index = |class: QueryClass| match class {
+        QueryClass::Correct => 0,
+        QueryClass::EmptyReturn => 1,
+        QueryClass::ReturnError => 2,
+    };
+    for (key, truth) in &keys {
+        let plain = cluster
+            .try_query_with_policy(key, ReturnPolicy::FirstMatch)
+            .unwrap();
+        let explain = cluster.try_query_explain(key, ReturnPolicy::FirstMatch);
+        assert_eq!(Ok(plain.clone()), explain.outcome, "paths diverged");
+        plain_tally[index(classify(&plain, truth))] += 1;
+        explain_tally[index(classify(&explain.outcome.unwrap(), truth))] += 1;
+    }
+    assert_eq!(plain_tally, explain_tally);
+    assert_eq!(plain_tally.iter().sum::<u64>(), keys.len() as u64);
+}
