@@ -30,6 +30,7 @@ fn egress() -> DartEgress {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: dta_core::PrimitiveSpec::KeyWrite,
         },
         3,
     )

@@ -73,6 +73,7 @@ fn bench_report_crafting(c: &mut Criterion) {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: dta_core::PrimitiveSpec::KeyWrite,
         },
         7,
     )

@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale S] [--out DIR] [fig1a|fig1b|fig3|fig4|fig5|table1|cas|theory|e2e|ext|all]
+//! repro [--scale S] [--out DIR] [--check FILE] [fig1a|fig1b|fig3|fig4|fig5|table1|cas|theory|e2e|ext|all]
 //! ```
 //!
 //! `--scale` multiplies simulation sizes (default 1 ≈ 100 k keys; the
@@ -10,6 +10,10 @@
 //! `--out DIR` additionally writes each target's output to
 //! `DIR/<target>.md`; the `e2e` target also drops `DIR/BENCH_e2e.json`,
 //! a JSONL snapshot of throughput and every lifecycle metric.
+//! `--check FILE` reruns the e2e bench and diffs every deterministic
+//! counter against the checked-in `FILE` baseline (wall-clock gauges
+//! are skipped), exiting non-zero on any drift. The baseline must have
+//! been generated at the same `--scale`.
 
 use std::env;
 use std::fs;
@@ -51,6 +55,7 @@ fn render(target: &str, scale: Scale, seed: u64, out_dir: Option<&PathBuf>) -> O
             let slots = (1u64 << 13) * scale.0;
             let bench = e2e::run_bench(slots, seed);
             out.push_str(&e2e::e2e_table(&bench.points));
+            out.push_str(&e2e::primitive_table(&bench.matrix));
             if let Some(dir) = out_dir {
                 let path = dir.join("BENCH_e2e.json");
                 if let Err(e) = fs::write(&path, e2e::bench_jsonl(&bench)) {
@@ -73,6 +78,7 @@ fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let mut scale = Scale(1);
     let mut out_dir: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -94,9 +100,16 @@ fn main() {
                 });
                 out_dir = Some(PathBuf::from(dir));
             }
+            "--check" => {
+                let file = iter.next().unwrap_or_else(|| {
+                    eprintln!("--check needs a baseline file (BENCH_e2e.json)");
+                    std::process::exit(2);
+                });
+                check = Some(PathBuf::from(file));
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: repro [--scale S] [--out DIR] [{}|all]",
+                    "usage: repro [--scale S] [--out DIR] [--check FILE] [{}|all]",
                     TARGETS.join("|")
                 );
                 return;
@@ -104,6 +117,37 @@ fn main() {
             other => targets.push(other.to_string()),
         }
     }
+
+    let seed = 0xDA27_2021u64;
+    if let Some(baseline_path) = check {
+        let baseline = fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", baseline_path.display());
+            std::process::exit(1);
+        });
+        let slots = (1u64 << 13) * scale.0;
+        let bench = e2e::run_bench(slots, seed);
+        match e2e::diff_baseline(&bench, &baseline) {
+            Err(e) => {
+                eprintln!("cannot parse {}: {e}", baseline_path.display());
+                std::process::exit(1);
+            }
+            Ok(diffs) if diffs.is_empty() => {
+                println!(
+                    "e2e bench reproduces {} (all deterministic counters match)",
+                    baseline_path.display()
+                );
+                return;
+            }
+            Ok(diffs) => {
+                eprintln!("e2e bench drifted from {}:", baseline_path.display());
+                for diff in diffs {
+                    eprintln!("  {diff}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
     if targets.is_empty() {
         targets.push("all".into());
     }
@@ -118,7 +162,6 @@ fn main() {
         }
     }
 
-    let seed = 0xDA27_2021u64;
     for target in &targets {
         let Some(output) = render(target, scale, seed, out_dir.as_ref()) else {
             eprintln!("unknown target '{target}', see --help");

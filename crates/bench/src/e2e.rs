@@ -9,7 +9,8 @@
 //! mis-parsed header, a biased CRC, a broken PSN) shows up here as a
 //! divergence.
 
-use dta_obs::Obs;
+use dta_core::PrimitiveSpec;
+use dta_obs::{MetricValue, Obs};
 use dta_rdma::link::FaultModel;
 use dta_topology::sim::{FatTreeSim, ReportMode, SimConfig, SimReport};
 
@@ -69,6 +70,72 @@ pub fn run_sweep(slots: u64, seed: u64) -> Vec<E2ePoint> {
         .collect()
 }
 
+/// One row of the per-primitive matrix: the same fat-tree pipeline
+/// run under each translation primitive at load α = 0.5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimitivePoint {
+    /// The translation primitive the run used.
+    pub primitive: PrimitiveSpec,
+    /// Observed end-to-end success rate.
+    pub observed: f64,
+    /// RDMA WRITEs executed at collectors (Key-Write, Append).
+    pub nic_writes: u64,
+    /// RC FETCH_ADDs executed at collectors (Key-Increment).
+    pub nic_atomics: u64,
+}
+
+/// A stable snake_case label for bench metric names.
+fn primitive_label(primitive: PrimitiveSpec) -> &'static str {
+    match primitive {
+        PrimitiveSpec::KeyWrite => "key_write",
+        PrimitiveSpec::Append { .. } => "append",
+        PrimitiveSpec::KeyIncrement => "key_increment",
+    }
+}
+
+/// Run the fat-tree pipeline once per translation primitive (α = 0.5)
+/// and register the outcome tallies as deterministic bench counters in
+/// `obs` — one `bench_e2e_<primitive>_{correct,queries}_total` pair per
+/// row, diffable by `repro --check`.
+pub fn run_primitive_matrix(slots: u64, seed: u64, obs: &Obs) -> Vec<PrimitivePoint> {
+    [
+        PrimitiveSpec::KeyWrite,
+        PrimitiveSpec::Append { ring_capacity: 4 },
+        PrimitiveSpec::KeyIncrement,
+    ]
+    .iter()
+    .map(|&primitive| {
+        let mut sim = FatTreeSim::new(SimConfig {
+            k: 4,
+            slots,
+            collectors: 1,
+            fault: FaultModel::Perfect,
+            mode: ReportMode::AllCopies,
+            primitive,
+            seed,
+            ..SimConfig::default()
+        })
+        .expect("valid sim config");
+        sim.run_flows(slots / 2).expect("flows run");
+        let report = sim.query_all(10);
+        let label = primitive_label(primitive);
+        let registry = obs.registry();
+        registry
+            .counter(&format!("bench_e2e_{label}_correct_total"))
+            .add(report.correct);
+        registry
+            .counter(&format!("bench_e2e_{label}_queries_total"))
+            .add(report.total());
+        PrimitivePoint {
+            primitive,
+            observed: report.success_rate(),
+            nic_writes: sim.cluster().total_writes(),
+            nic_atomics: sim.cluster().total_atomics(),
+        }
+    })
+    .collect()
+}
+
 /// An instrumented sweep: the sweep points plus wall-clock throughput
 /// and the accumulated observability registry, ready for
 /// `BENCH_e2e.json`.
@@ -76,6 +143,8 @@ pub fn run_sweep(slots: u64, seed: u64) -> Vec<E2ePoint> {
 pub struct E2eBench {
     /// The sweep results.
     pub points: Vec<E2ePoint>,
+    /// The per-primitive matrix rows.
+    pub matrix: Vec<PrimitivePoint>,
     /// Total flows simulated across the sweep.
     pub flows: u64,
     /// Wall-clock duration of the sweep in seconds.
@@ -93,11 +162,13 @@ pub fn run_bench(slots: u64, seed: u64) -> E2eBench {
         .iter()
         .map(|&alpha| run_e2e_with_obs(alpha, slots, seed, obs.clone()))
         .collect();
+    let matrix = run_primitive_matrix(slots, seed, &obs);
     let elapsed_secs = start.elapsed().as_secs_f64();
     let flows: u64 = [0.25f64, 0.5, 1.0, 2.0]
         .iter()
         .map(|&alpha| (alpha * slots as f64).round() as u64)
-        .sum();
+        .sum::<u64>()
+        + matrix.len() as u64 * (slots / 2);
     let registry = obs.registry();
     registry.counter("bench_e2e_flows_total").add(flows);
     registry
@@ -110,10 +181,72 @@ pub fn run_bench(slots: u64, seed: u64) -> E2eBench {
     }
     E2eBench {
         points,
+        matrix,
         flows,
         elapsed_secs,
         obs,
     }
+}
+
+/// Render the per-primitive matrix.
+pub fn primitive_table(matrix: &[PrimitivePoint]) -> String {
+    let rows: Vec<Vec<String>> = matrix
+        .iter()
+        .map(|p| {
+            vec![
+                primitive_label(p.primitive).to_string(),
+                pct(p.observed),
+                p.nic_writes.to_string(),
+                p.nic_atomics.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        "Translation primitives end-to-end (α = 0.50, same pipeline)",
+        &["primitive", "observed", "NIC writes", "NIC atomics"],
+        &rows,
+    )
+}
+
+/// Diff a fresh bench snapshot against a checked-in `BENCH_e2e.json`
+/// baseline. Counters must match exactly (the whole pipeline is
+/// deterministic under a fixed seed); gauges and histograms are skipped
+/// because they carry wall-clock readings (`bench_e2e_elapsed_ms`,
+/// `bench_e2e_flows_per_sec`). Returns human-readable mismatch lines —
+/// empty means the run reproduced the baseline.
+pub fn diff_baseline(bench: &E2eBench, baseline: &str) -> Result<Vec<String>, String> {
+    let baseline = dta_obs::export::parse_jsonl(baseline).map_err(|e| e.to_string())?;
+    let current = bench.obs.registry().snapshot();
+    let mut diffs = Vec::new();
+    for base in &baseline {
+        let MetricValue::Counter(expected) = base.value else {
+            continue;
+        };
+        match current.iter().find(|m| m.name == base.name) {
+            None => diffs.push(format!(
+                "missing counter {} (baseline {expected})",
+                base.name
+            )),
+            Some(m) => match m.value {
+                MetricValue::Counter(got) if got == expected => {}
+                MetricValue::Counter(got) => {
+                    diffs.push(format!("{}: baseline {expected}, got {got}", base.name))
+                }
+                ref other => diffs.push(format!(
+                    "{}: baseline counter {expected}, got {}",
+                    base.name,
+                    other.type_name()
+                )),
+            },
+        }
+    }
+    for m in &current {
+        if matches!(m.value, MetricValue::Counter(_)) && !baseline.iter().any(|b| b.name == m.name)
+        {
+            diffs.push(format!("new counter {} not in baseline", m.name));
+        }
+    }
+    Ok(diffs)
 }
 
 /// The `BENCH_e2e.json` payload: one JSON object per line for every
@@ -171,6 +304,77 @@ mod tests {
     fn table_renders() {
         let t = e2e_table(&[run_e2e(0.25, 1 << 10, 1)]);
         assert!(t.contains("NIC writes"));
+    }
+
+    #[test]
+    fn primitive_matrix_covers_all_three_commit_kinds() {
+        let obs = Obs::new();
+        let matrix = run_primitive_matrix(1 << 9, 5, &obs);
+        assert_eq!(matrix.len(), 3);
+        // Key-Write and Append commit WRITEs; Key-Increment atomics only.
+        assert!(matrix[0].nic_writes > 0 && matrix[0].nic_atomics == 0);
+        assert!(matrix[1].nic_writes > 0 && matrix[1].nic_atomics == 0);
+        assert!(matrix[2].nic_writes == 0 && matrix[2].nic_atomics > 0);
+        for point in &matrix {
+            assert!(point.observed > 0.5, "α=0.5 run unusably lossy");
+        }
+        let registry = obs.registry();
+        for label in ["key_write", "append", "key_increment"] {
+            let total = registry
+                .counter_value(&format!("bench_e2e_{label}_queries_total"))
+                .unwrap();
+            assert_eq!(total, 1 << 8, "one query per simulated flow");
+        }
+        let rendered = primitive_table(&matrix);
+        assert!(rendered.contains("key_increment"));
+    }
+
+    #[test]
+    fn baseline_diff_passes_identity_and_catches_drift() {
+        let bench = run_bench(1 << 9, 3);
+        let json = bench_jsonl(&bench);
+        assert!(
+            diff_baseline(&bench, &json).unwrap().is_empty(),
+            "a run must reproduce its own snapshot"
+        );
+
+        // A counter missing from the current run is reported…
+        let fake =
+            format!("{json}{{\"name\":\"bench_fake_total\",\"type\":\"counter\",\"value\":7}}\n");
+        let diffs = diff_baseline(&bench, &fake).unwrap();
+        assert!(diffs
+            .iter()
+            .any(|d| d.contains("missing counter bench_fake_total")));
+
+        // …a counter the baseline never saw is reported…
+        let pruned: String = json
+            .lines()
+            .filter(|l| !l.contains("bench_e2e_flows_total"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let diffs = diff_baseline(&bench, &pruned).unwrap();
+        assert!(diffs
+            .iter()
+            .any(|d| d.contains("new counter bench_e2e_flows_total")));
+
+        // …and a drifted value is, while wall-clock gauges are ignored.
+        let drifted: String = json
+            .lines()
+            .map(|l| {
+                if l.contains("bench_e2e_flows_total") {
+                    "{\"name\":\"bench_e2e_flows_total\",\"type\":\"counter\",\"value\":1}\n"
+                        .to_string()
+                } else if l.contains("bench_e2e_elapsed_ms") {
+                    "{\"name\":\"bench_e2e_elapsed_ms\",\"type\":\"gauge\",\"value\":999999}\n"
+                        .to_string()
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let diffs = diff_baseline(&bench, &drifted).unwrap();
+        assert_eq!(diffs.len(), 1, "only the counter drift counts: {diffs:?}");
+        assert!(diffs[0].contains("bench_e2e_flows_total: baseline 1"));
     }
 
     #[test]

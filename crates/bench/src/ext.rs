@@ -73,6 +73,7 @@ pub fn native_table() -> String {
                 },
                 collectors: 1,
                 udp_src_port: 49152,
+                primitive: dta_core::PrimitiveSpec::KeyWrite,
             },
             7,
         )
@@ -201,6 +202,7 @@ mod tests {
                     },
                     collectors: 1,
                     udp_src_port: 49152,
+                    primitive: dta_core::PrimitiveSpec::KeyWrite,
                 },
                 7,
             )

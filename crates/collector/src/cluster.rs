@@ -167,6 +167,7 @@ struct ClusterObs {
     obs: Obs,
     writes_fresh: Counter,
     writes_overwritten: Counter,
+    atomics: Counter,
     /// Per-reason drop counters, aligned with [`DropReason::ALL`].
     drops: Vec<Counter>,
     queries_answered: Counter,
@@ -241,6 +242,7 @@ impl CollectorCluster {
             obs: obs.clone(),
             writes_fresh: registry.counter("dta_nic_writes_fresh_total"),
             writes_overwritten: registry.counter("dta_nic_writes_overwritten_total"),
+            atomics: registry.counter("dta_nic_atomics_total"),
             drops: DropReason::ALL
                 .iter()
                 .map(|reason| registry.counter(&format!("dta_nic_drops_{}_total", reason.name())))
@@ -441,6 +443,13 @@ impl CollectorCluster {
                                 fresh,
                             });
                         }
+                        RxAction::AtomicExecuted { original } => {
+                            o.atomics.inc();
+                            o.obs.event(EventKind::CounterCommit {
+                                collector: index as u8,
+                                original,
+                            });
+                        }
                         RxAction::Dropped(reason) => {
                             o.drop_counter(reason).inc();
                             o.obs.event(EventKind::NicDrop {
@@ -607,6 +616,24 @@ impl CollectorCluster {
         self.collectors
             .iter()
             .map(|c| c.nic_counters().writes)
+            .sum()
+    }
+
+    /// Aggregate NIC append-commit counters (a subset of
+    /// [`CollectorCluster::total_writes`]) across the cluster.
+    pub fn total_appends(&self) -> u64 {
+        self.collectors
+            .iter()
+            .map(|c| c.nic_counters().appends)
+            .sum()
+    }
+
+    /// Aggregate NIC FETCH_ADD counters across the cluster — the
+    /// Key-Increment commit count.
+    pub fn total_atomics(&self) -> u64 {
+        self.collectors
+            .iter()
+            .map(|c| c.nic_counters().fetch_adds)
             .sum()
     }
 

@@ -8,8 +8,8 @@
 use dta_core::config::DartConfig;
 use dta_core::query::{QueryOutcome, ReturnPolicy};
 use dta_core::store::{OwnedQueryEngine, StoreExplain};
-use dta_core::DartError;
-use dta_rdma::mr::{AccessFlags, MemoryHandle};
+use dta_core::{DartError, PrimitiveSpec};
+use dta_rdma::mr::{AccessFlags, CommitKind, MemoryHandle};
 use dta_rdma::nic::{NicCounters, RxOutcome};
 use dta_rdma::verbs::{Device, RemoteEndpoint};
 use dta_wire::roce::Psn;
@@ -17,6 +17,20 @@ use dta_wire::{ethernet, ipv4};
 
 /// Virtual base address collectors register their telemetry region at.
 pub const REGION_BASE_VA: u64 = 0x4000_0000;
+
+/// The QPN collector-side RC queue pairs name as their peer. Switch
+/// pipelines have no receive QP — ACKs for Key-Increment FETCH_ADDs are
+/// addressed here and ignored by the egress (§6-style).
+const SWITCH_PEER_QPN: u32 = 0;
+
+/// The NIC commit semantics each translation primitive's region needs.
+fn commit_kind(primitive: PrimitiveSpec) -> CommitKind {
+    match primitive {
+        PrimitiveSpec::KeyWrite => CommitKind::Write,
+        PrimitiveSpec::Append { .. } => CommitKind::Append,
+        PrimitiveSpec::KeyIncrement => CommitKind::FetchAdd,
+    }
+}
 
 /// A single DART collector endpoint.
 pub struct DartCollector {
@@ -44,11 +58,14 @@ impl DartCollector {
         let mut device = Device::open(mac, ip);
         let region_len = config.bytes_per_collector();
         let (rkey, handle) = device
-            .register_region(REGION_BASE_VA, region_len, AccessFlags::DART_COLLECTOR)
+            .register_region_with_commit(
+                REGION_BASE_VA,
+                region_len,
+                AccessFlags::DART_COLLECTOR,
+                commit_kind(config.primitive),
+            )
             .expect("fresh device has no rkeys");
-        let qpn = device
-            .create_uc_qp(Psn::new(0))
-            .expect("fresh device has no QPs");
+        let qpn = Self::create_report_qp(&mut device, config.primitive, Psn::new(0));
         let endpoint = device.endpoint(qpn, rkey, REGION_BASE_VA, region_len as u64);
         let engine = OwnedQueryEngine::new(config)?;
         Ok(DartCollector {
@@ -88,14 +105,26 @@ impl DartCollector {
     /// with the reporting switch. Lets tests pre-wind both ends close to
     /// the 24-bit wrap point without replaying 2²⁴ frames.
     pub fn allocate_switch_qp_from(&mut self, start_psn: Psn) -> RemoteEndpoint {
-        let qpn = self
-            .device
-            .create_uc_qp(start_psn)
-            .expect("QPN space is ample");
+        let primitive = self.engine.config().primitive;
+        let qpn = Self::create_report_qp(&mut self.device, primitive, start_psn);
         RemoteEndpoint {
             qpn,
             start_psn,
             ..self.endpoint
+        }
+    }
+
+    /// Create the queue pair one reporting switch writes into. The RDMA
+    /// spec defines atomics only for reliable transport, so Key-Increment
+    /// (FETCH_ADD) reports need an RC queue pair; the WRITE-based
+    /// primitives ride UC, whose gap tolerance is what lets lost reports
+    /// merely age the data (§3).
+    fn create_report_qp(device: &mut Device, primitive: PrimitiveSpec, start_psn: Psn) -> u32 {
+        match primitive {
+            PrimitiveSpec::KeyIncrement => device
+                .create_rc_qp(start_psn, SWITCH_PEER_QPN)
+                .expect("QPN space is ample"),
+            _ => device.create_uc_qp(start_psn).expect("QPN space is ample"),
         }
     }
 

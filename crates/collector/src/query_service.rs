@@ -10,6 +10,7 @@ use dta_core::query::QueryOutcome;
 use dta_telemetry::anomaly::{AnomalyBackend, AnomalyEvent, AnomalyKey, AnomalyKind};
 use dta_telemetry::event::Backend;
 use dta_telemetry::failure::{FailureBackend, FailureEvent, FailureKey};
+use dta_telemetry::flow_count::FlowCountBackend;
 use dta_telemetry::int_path::IntPathBackend;
 use dta_telemetry::postcard::{LocalMeasurement, PostcardBackend, PostcardKey};
 use dta_telemetry::query_mirror::{QueryAnswer, QueryMirrorBackend};
@@ -109,6 +110,31 @@ impl<'a> QueryService<'a> {
             PostcardBackend::encode_key(&PostcardKey { switch_id, flow }),
             |bytes| PostcardBackend::decode_value(bytes).ok(),
         )
+    }
+
+    /// "What did this switch recently measure for this flow?" — the
+    /// postcard *stream* over the Append primitive: the cluster must be
+    /// configured with [`dta_core::PrimitiveSpec::Append`], and the
+    /// answer is the ring window for the `(switch, flow)` listkey,
+    /// oldest first.
+    pub fn postcard_log(
+        &mut self,
+        switch_id: u32,
+        flow: FiveTuple,
+    ) -> Answer<Vec<LocalMeasurement>> {
+        self.run(
+            PostcardBackend::encode_log_key(&PostcardKey { switch_id, flow }),
+            |bytes| PostcardBackend::decode_log(bytes).ok(),
+        )
+    }
+
+    /// "How much has this flow sent?" — the running total over the
+    /// Key-Increment primitive. Under report loss the answer is the
+    /// minimum across copies: a conservative total, never an overcount.
+    pub fn flow_total(&mut self, flow: FiveTuple) -> Answer<u64> {
+        self.run(FlowCountBackend::encode_key(&flow), |bytes| {
+            FlowCountBackend::decode_value(bytes).ok()
+        })
     }
 
     /// "What is the current answer of installed query Q?" (row 3).

@@ -2,6 +2,7 @@
 
 use crate::error::DartError;
 use crate::hash::MappingKind;
+use crate::primitive::PrimitiveSpec;
 use crate::query::ReturnPolicy;
 use dta_wire::dart::{ChecksumWidth, SlotLayout};
 
@@ -34,6 +35,8 @@ pub struct DartConfig {
     pub strategy: WriteStrategy,
     /// Default return policy for queries.
     pub policy: ReturnPolicy,
+    /// Which translation primitive the datapath runs.
+    pub primitive: PrimitiveSpec,
 }
 
 impl DartConfig {
@@ -44,7 +47,18 @@ impl DartConfig {
 
     /// Bytes of collector memory needed per collector.
     pub fn bytes_per_collector(&self) -> usize {
-        self.slots as usize * self.layout.slot_len()
+        self.slots as usize * self.entry_len()
+    }
+
+    /// Bytes one entry occupies under the configured primitive (the
+    /// classic `slot_len` for Key-Write).
+    pub fn entry_len(&self) -> usize {
+        self.primitive.entry_len(&self.layout)
+    }
+
+    /// Number of append rings (1 for the non-ring primitives).
+    pub fn rings(&self) -> u64 {
+        self.primitive.rings(self.slots)
     }
 
     /// The load factor `α = keys / slots` this store would have after
@@ -72,6 +86,14 @@ impl DartConfig {
                 "WriteThenCas is defined for exactly 2 copies",
             ));
         }
+        if self.strategy == WriteStrategy::WriteThenCas && self.primitive != PrimitiveSpec::KeyWrite
+        {
+            return Err(DartError::InvalidConfig(
+                "WriteThenCas is a Key-Write strategy",
+            ));
+        }
+        self.primitive
+            .validate(self.slots, self.copies, &self.layout)?;
         Ok(())
     }
 }
@@ -87,6 +109,7 @@ pub struct DartConfigBuilder {
     mapping: MappingKind,
     strategy: WriteStrategy,
     policy: ReturnPolicy,
+    primitive: PrimitiveSpec,
 }
 
 impl Default for DartConfigBuilder {
@@ -102,6 +125,7 @@ impl Default for DartConfigBuilder {
             mapping: MappingKind::Mix64 { seed: 0 },
             strategy: WriteStrategy::AllSlots,
             policy: ReturnPolicy::Plurality,
+            primitive: PrimitiveSpec::KeyWrite,
         }
     }
 }
@@ -155,6 +179,20 @@ impl DartConfigBuilder {
         self
     }
 
+    /// Translation primitive. For [`PrimitiveSpec::Append`] this also
+    /// forces `copies = 1` (rings are not replicated) and for
+    /// [`PrimitiveSpec::KeyIncrement`] it forces `value_len = 8`, so
+    /// callers can switch primitives without re-deriving the geometry.
+    pub fn primitive(mut self, primitive: PrimitiveSpec) -> Self {
+        self.primitive = primitive;
+        match primitive {
+            PrimitiveSpec::Append { .. } => self.copies = 1,
+            PrimitiveSpec::KeyIncrement => self.value_len = 8,
+            PrimitiveSpec::KeyWrite => {}
+        }
+        self
+    }
+
     /// Finish, validating invariants.
     pub fn build(self) -> Result<DartConfig, DartError> {
         let config = DartConfig {
@@ -168,6 +206,7 @@ impl DartConfigBuilder {
             mapping: self.mapping,
             strategy: self.strategy,
             policy: self.policy,
+            primitive: self.primitive,
         };
         config.validate()?;
         Ok(config)

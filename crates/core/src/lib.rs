@@ -47,6 +47,7 @@ pub mod config;
 pub mod epoch;
 pub mod error;
 pub mod hash;
+pub mod primitive;
 pub mod query;
 pub mod sketch;
 pub mod store;
@@ -54,6 +55,7 @@ pub mod writer;
 
 pub use config::DartConfig;
 pub use error::DartError;
+pub use primitive::{PrimitiveKind, PrimitiveSpec};
 pub use query::{DecisionReason, QueryOutcome, ReturnPolicy};
 pub use store::{DartStore, SlotProbe, StoreExplain};
 pub use writer::ReportWriter;

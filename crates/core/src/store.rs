@@ -9,7 +9,10 @@
 use crate::config::{DartConfig, WriteStrategy};
 use crate::error::DartError;
 use crate::hash::AddressMapping;
-use crate::query::{decide, decide_explain, DecisionReason, QueryOutcome, ReturnPolicy};
+use crate::primitive::{
+    append_decode_entry, append_encode_entry, append_scan, increment_decode, PrimitiveSpec,
+};
+use crate::query::{decide_explain, DecisionReason, QueryOutcome, ReturnPolicy};
 
 /// What one slot probe of a query saw (one of the `N` copies).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,6 +70,11 @@ pub struct DartStore {
     mapping: Box<dyn AddressMapping>,
     memory: Vec<u8>,
     stats: StoreStats,
+    /// Local tail state for [`PrimitiveSpec::Append`] (one last-stored
+    /// sequence number per ring; empty for the other primitives). This
+    /// mirrors the switch's tail-pointer registers for the owned
+    /// simulation path — the RDMA path never consults it.
+    tails: Vec<u32>,
 }
 
 impl DartStore {
@@ -74,11 +82,13 @@ impl DartStore {
     pub fn new(config: DartConfig) -> DartStore {
         let bytes = config.bytes_per_collector();
         let mapping = config.mapping.build();
+        let tails = Self::fresh_tails(&config);
         DartStore {
             config,
             mapping,
             memory: vec![0u8; bytes],
             stats: StoreStats::default(),
+            tails,
         }
     }
 
@@ -92,12 +102,45 @@ impl DartStore {
             });
         }
         let mapping = config.mapping.build();
+        let tails = Self::rebuild_tails(&config, &memory);
         Ok(DartStore {
             config,
             mapping,
             memory,
             stats: StoreStats::default(),
+            tails,
         })
+    }
+
+    fn fresh_tails(config: &DartConfig) -> Vec<u32> {
+        match config.primitive {
+            PrimitiveSpec::Append { .. } => vec![0u32; config.rings() as usize],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Recover per-ring tails from memory contents: the newest stored
+    /// sequence number under serial arithmetic (0 for an empty ring).
+    fn rebuild_tails(config: &DartConfig, memory: &[u8]) -> Vec<u32> {
+        let PrimitiveSpec::Append { ring_capacity } = config.primitive else {
+            return Vec::new();
+        };
+        let entry_len = config.entry_len();
+        let ring_bytes = ring_capacity as usize * entry_len;
+        memory
+            .chunks_exact(ring_bytes)
+            .map(|ring| {
+                let mut newest = 0u32;
+                for entry in ring.chunks_exact(entry_len) {
+                    if let Ok((stored, _, _)) = append_decode_entry(&config.layout, entry) {
+                        if stored != 0 && (newest == 0 || stored.wrapping_sub(newest) < 1 << 31) {
+                            newest = stored;
+                        }
+                    }
+                }
+                newest
+            })
+            .collect()
     }
 
     /// The configuration.
@@ -119,6 +162,7 @@ impl DartStore {
     pub fn clear(&mut self) {
         self.memory.fill(0);
         self.stats = StoreStats::default();
+        self.tails = Self::fresh_tails(&self.config);
     }
 
     /// Fraction of slots holding data (any non-zero byte). A direct
@@ -126,10 +170,10 @@ impl DartStore {
     /// counters it saturates as the table fills: occupancy
     /// `≈ 1 − e^{−αN}` at load α.
     pub fn occupancy(&self) -> f64 {
-        let slot_len = self.config.layout.slot_len();
+        let entry_len = self.config.entry_len();
         let occupied = self
             .memory
-            .chunks_exact(slot_len)
+            .chunks_exact(entry_len)
             .filter(|slot| slot.iter().any(|&b| b != 0))
             .count();
         occupied as f64 / self.config.slots as f64
@@ -142,14 +186,33 @@ impl DartStore {
                 slots: self.config.slots,
             });
         }
-        let len = self.config.layout.slot_len();
+        let len = self.config.entry_len();
         let start = slot as usize * len;
         Ok(start..start + len)
     }
 
-    /// Insert a key-value pair: write all `N` copies according to the
-    /// configured [`WriteStrategy`].
+    /// Insert a report for `key` under the configured primitive:
+    ///
+    /// * Key-Write — write all `N` copies per the [`WriteStrategy`];
+    /// * Append — append one entry to `key`'s ring (`value` is the
+    ///   entry body);
+    /// * Key-Increment — add the 8-byte big-endian delta in `value` to
+    ///   each of `key`'s counter copies.
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<(), DartError> {
+        match self.config.primitive {
+            PrimitiveSpec::KeyWrite => self.insert_key_write(key, value),
+            PrimitiveSpec::Append { .. } => {
+                self.append(key, value)?;
+                Ok(())
+            }
+            PrimitiveSpec::KeyIncrement => {
+                let delta = increment_decode(value)?;
+                self.increment(key, delta)
+            }
+        }
+    }
+
+    fn insert_key_write(&mut self, key: &[u8], value: &[u8]) -> Result<(), DartError> {
         let layout = self.config.layout;
         if value.len() != layout.value_len {
             return Err(DartError::ValueLength {
@@ -192,8 +255,26 @@ impl DartStore {
 
     /// Write a single copy of a key (what one RDMA WRITE from one
     /// mirrored report packet does; the Tofino picks `copy` at random
-    /// per report, §6).
+    /// per report, §6). Under Append this appends one ring entry; under
+    /// Key-Increment it adds the delta to `copy`'s counter word only.
     pub fn insert_copy(&mut self, key: &[u8], value: &[u8], copy: u8) -> Result<(), DartError> {
+        match self.config.primitive {
+            PrimitiveSpec::KeyWrite => {}
+            PrimitiveSpec::Append { .. } => {
+                self.append(key, value)?;
+                return Ok(());
+            }
+            PrimitiveSpec::KeyIncrement => {
+                let delta = increment_decode(value)?;
+                let slot = self.mapping.slot(key, copy, self.config.slots);
+                let range = self.slot_range(slot)?;
+                let word = &mut self.memory[range];
+                let old = u64::from_be_bytes(word.try_into().expect("8-byte counter word"));
+                word.copy_from_slice(&old.wrapping_add(delta).to_be_bytes());
+                self.stats.slot_writes += 1;
+                return Ok(());
+            }
+        }
         let layout = self.config.layout;
         if value.len() != layout.value_len {
             return Err(DartError::ValueLength {
@@ -213,10 +294,74 @@ impl DartStore {
     /// Write raw slot bytes (the NIC DMA path: bytes land wherever the
     /// RETH points, no interpretation).
     pub fn write_slot_bytes(&mut self, slot: u64, bytes: &[u8]) -> Result<(), DartError> {
+        let len = self.config.entry_len();
         let range = self.slot_range(slot)?;
-        self.memory[range].copy_from_slice(&bytes[..self.config.layout.slot_len()]);
+        self.memory[range].copy_from_slice(&bytes[..len]);
         self.stats.slot_writes += 1;
         Ok(())
+    }
+
+    /// Append one entry to `listkey`'s ring ([`PrimitiveSpec::Append`]
+    /// only). Returns the stored sequence number the entry was stamped
+    /// with — the same value the switch's tail-pointer register would
+    /// have produced.
+    pub fn append(&mut self, listkey: &[u8], value: &[u8]) -> Result<u32, DartError> {
+        let PrimitiveSpec::Append { ring_capacity } = self.config.primitive else {
+            return Err(DartError::InvalidConfig(
+                "append requires the Append primitive",
+            ));
+        };
+        let layout = self.config.layout;
+        if value.len() != layout.value_len {
+            return Err(DartError::ValueLength {
+                expected: layout.value_len,
+                actual: value.len(),
+            });
+        }
+        let rings = self.config.rings();
+        let ring = self.mapping.slot(listkey, 0, rings);
+        let stored = self.tails[ring as usize].wrapping_add(1);
+        self.tails[ring as usize] = stored;
+        let position = u64::from(stored.wrapping_sub(1)) % ring_capacity;
+        let slot = ring * ring_capacity + position;
+        let checksum = self.mapping.key_checksum(listkey);
+        let mut entry = vec![0u8; self.config.entry_len()];
+        append_encode_entry(&layout, stored, checksum, value, &mut entry)?;
+        self.write_slot_bytes(slot, &entry)?;
+        self.stats.keys_inserted += 1;
+        Ok(stored)
+    }
+
+    /// Add `delta` to each of `key`'s counter copies
+    /// ([`PrimitiveSpec::KeyIncrement`] only) — the local equivalent of
+    /// the switch's `N` FETCH_ADD atomics.
+    pub fn increment(&mut self, key: &[u8], delta: u64) -> Result<(), DartError> {
+        if self.config.primitive != PrimitiveSpec::KeyIncrement {
+            return Err(DartError::InvalidConfig(
+                "increment requires the KeyIncrement primitive",
+            ));
+        }
+        for copy in 0..self.config.copies {
+            let slot = self.mapping.slot(key, copy, self.config.slots);
+            let range = self.slot_range(slot)?;
+            let word = &mut self.memory[range];
+            let old = u64::from_be_bytes(word.try_into().expect("8-byte counter word"));
+            word.copy_from_slice(&old.wrapping_add(delta).to_be_bytes());
+            self.stats.slot_writes += 1;
+        }
+        self.stats.keys_inserted += 1;
+        Ok(())
+    }
+
+    /// Current tail (last stored sequence number) of `listkey`'s ring.
+    pub fn ring_tail(&self, listkey: &[u8]) -> Option<u32> {
+        match self.config.primitive {
+            PrimitiveSpec::Append { .. } => {
+                let ring = self.mapping.slot(listkey, 0, self.config.rings());
+                self.tails.get(ring as usize).copied()
+            }
+            _ => None,
+        }
     }
 
     /// Query under the configured default policy.
@@ -295,7 +440,9 @@ impl<'a> StoreView<'a> {
         })
     }
 
-    /// Read the `N` candidate slots for `key` and keep checksum matches.
+    /// Read the `N` candidate slots for `key` and keep checksum matches
+    /// (Key-Write slot semantics; the other primitives answer through
+    /// [`StoreView::query_explain`]).
     pub fn matching_values(&self, key: &[u8]) -> Vec<&'a [u8]> {
         let layout = self.config.layout;
         let expected = layout.checksum.truncate(self.mapping.key_checksum(key));
@@ -315,8 +462,11 @@ impl<'a> StoreView<'a> {
     }
 
     /// Query under an explicit policy.
+    ///
+    /// The plain query *is* the explain path minus the trace — the two
+    /// can never disagree, whatever the primitive.
     pub fn query_with_policy(&self, key: &[u8], policy: ReturnPolicy) -> QueryOutcome {
-        decide(&self.matching_values(key), policy)
+        self.query_explain(key, policy).outcome
     }
 
     /// Query under the configuration's default policy.
@@ -326,7 +476,28 @@ impl<'a> StoreView<'a> {
 
     /// Query `key` and trace every slot probed plus the policy's
     /// reasoning — the read-side half of the query-explain API.
+    ///
+    /// The probe/decision shape is identical for all three primitives,
+    /// so the cluster's failover routing and the obs registry consume
+    /// one trace format:
+    ///
+    /// * Key-Write — one probe per copy; outcome decided by `policy`.
+    /// * Append — one probe per ring position; the outcome concatenates
+    ///   the in-window entries **oldest first**, `votes` = entry count.
+    /// * Key-Increment — one probe per copy; the outcome is the 8-byte
+    ///   big-endian *minimum* over non-zero copies (conservative under
+    ///   partial loss), `votes` = copies agreeing with the minimum.
     pub fn query_explain(&self, key: &[u8], policy: ReturnPolicy) -> StoreExplain {
+        match self.config.primitive {
+            PrimitiveSpec::KeyWrite => self.explain_key_write(key, policy),
+            PrimitiveSpec::Append { ring_capacity } => {
+                self.explain_append(key, policy, ring_capacity)
+            }
+            PrimitiveSpec::KeyIncrement => self.explain_increment(key, policy),
+        }
+    }
+
+    fn explain_key_write(&self, key: &[u8], policy: ReturnPolicy) -> StoreExplain {
         let layout = self.config.layout;
         let expected = layout.checksum.truncate(self.mapping.key_checksum(key));
         let slot_len = layout.slot_len();
@@ -352,6 +523,92 @@ impl<'a> StoreView<'a> {
             });
         }
         let (outcome, reason) = decide_explain(&matches, policy);
+        StoreExplain {
+            probes,
+            policy,
+            reason,
+            outcome,
+        }
+    }
+
+    fn explain_append(
+        &self,
+        listkey: &[u8],
+        policy: ReturnPolicy,
+        ring_capacity: u64,
+    ) -> StoreExplain {
+        let entry_len = self.config.entry_len();
+        let rings = self.config.rings();
+        let ring = self.mapping.slot(listkey, 0, rings);
+        let base = ring * ring_capacity;
+        let start = base as usize * entry_len;
+        let ring_bytes = &self.memory[start..start + ring_capacity as usize * entry_len];
+        let want = self.mapping.key_checksum(listkey);
+        let scan = append_scan(&self.config.layout, ring_bytes, want, ring_capacity);
+        let probes = scan
+            .slots
+            .iter()
+            .map(|s| SlotProbe {
+                copy: 0,
+                slot: base + s.position,
+                occupied: s.occupied,
+                checksum_matched: s.matched,
+            })
+            .collect();
+        let (outcome, reason) = if scan.window.is_empty() {
+            (QueryOutcome::Empty, DecisionReason::NoSlotMatched)
+        } else {
+            let votes = scan.window.len().min(usize::from(u8::MAX)) as u8;
+            (
+                QueryOutcome::Answer(scan.window.concat()),
+                DecisionReason::Answered { votes },
+            )
+        };
+        StoreExplain {
+            probes,
+            policy,
+            reason,
+            outcome,
+        }
+    }
+
+    fn explain_increment(&self, key: &[u8], policy: ReturnPolicy) -> StoreExplain {
+        let entry_len = self.config.entry_len();
+        let mut probes = Vec::with_capacity(usize::from(self.config.copies));
+        let mut totals = Vec::with_capacity(usize::from(self.config.copies));
+        for copy in 0..self.config.copies {
+            let slot = self.mapping.slot(key, copy, self.config.slots);
+            let start = slot as usize * entry_len;
+            let word = u64::from_be_bytes(
+                self.memory[start..start + entry_len]
+                    .try_into()
+                    .expect("8-byte counter word"),
+            );
+            let occupied = word != 0;
+            probes.push(SlotProbe {
+                copy,
+                slot,
+                occupied,
+                checksum_matched: occupied,
+            });
+            if occupied {
+                totals.push(word);
+            }
+        }
+        let (outcome, reason) = match totals.iter().min() {
+            None => (QueryOutcome::Empty, DecisionReason::NoSlotMatched),
+            Some(&minimum) => {
+                let votes = totals
+                    .iter()
+                    .filter(|&&t| t == minimum)
+                    .count()
+                    .min(usize::from(u8::MAX)) as u8;
+                (
+                    QueryOutcome::Answer(minimum.to_be_bytes().to_vec()),
+                    DecisionReason::Answered { votes },
+                )
+            }
+        };
         StoreExplain {
             probes,
             policy,
@@ -642,6 +899,129 @@ mod tests {
         assert!(engine
             .query_explain(&[0u8; 3], b"k1", ReturnPolicy::UniqueValue)
             .is_err());
+    }
+
+    fn append_config(slots: u64, ring_capacity: u64) -> DartConfig {
+        DartConfig::builder()
+            .slots(slots)
+            .value_len(8)
+            .primitive(crate::primitive::PrimitiveSpec::Append { ring_capacity })
+            .build()
+            .unwrap()
+    }
+
+    fn increment_config(slots: u64) -> DartConfig {
+        DartConfig::builder()
+            .slots(slots)
+            .copies(2)
+            .primitive(crate::primitive::PrimitiveSpec::KeyIncrement)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn append_preserves_arrival_order() {
+        let mut store = DartStore::new(append_config(64, 8));
+        for i in 0..5u8 {
+            store.append(b"events", &[i; 8]).unwrap();
+        }
+        let QueryOutcome::Answer(log) = store.query(b"events") else {
+            panic!("expected a log");
+        };
+        let entries: Vec<&[u8]> = log.chunks_exact(8).collect();
+        assert_eq!(entries.len(), 5);
+        for (i, entry) in entries.iter().enumerate() {
+            assert_eq!(entry, &[i as u8; 8], "entries must read oldest-first");
+        }
+    }
+
+    #[test]
+    fn append_ring_keeps_newest_window_after_wrap() {
+        let mut store = DartStore::new(append_config(64, 8));
+        for i in 0..20u8 {
+            store.append(b"events", &[i; 8]).unwrap();
+        }
+        let QueryOutcome::Answer(log) = store.query(b"events") else {
+            panic!("expected a log");
+        };
+        let entries: Vec<&[u8]> = log.chunks_exact(8).collect();
+        assert_eq!(entries.len(), 8, "ring keeps exactly its capacity");
+        for (i, entry) in entries.iter().enumerate() {
+            assert_eq!(entry, &[(12 + i) as u8; 8], "window is the newest 8");
+        }
+    }
+
+    #[test]
+    fn append_rings_are_isolated_per_listkey() {
+        let mut store = DartStore::new(append_config(64, 8));
+        store.append(b"list-a", &[1u8; 8]).unwrap();
+        store.append(b"list-b", &[2u8; 8]).unwrap();
+        // Even if both listkeys share a ring, checksums keep the logs
+        // from answering each other's entries mixed in silently — in a
+        // 8-ring store they may collide, so only assert self-reads.
+        let QueryOutcome::Answer(a) = store.query(b"list-a") else {
+            panic!()
+        };
+        assert!(a.chunks_exact(8).any(|e| e == [1u8; 8]));
+    }
+
+    #[test]
+    fn append_requires_append_primitive() {
+        let mut store = DartStore::new(config(64));
+        assert!(store.append(b"k", &value(1)).is_err());
+        let mut store = DartStore::new(append_config(64, 8));
+        assert!(store.increment(b"k", 1).is_err());
+    }
+
+    #[test]
+    fn append_from_memory_rebuilds_tails() {
+        let mut store = DartStore::new(append_config(64, 8));
+        for i in 0..11u8 {
+            store.append(b"events", &[i; 8]).unwrap();
+        }
+        let tail = store.ring_tail(b"events").unwrap();
+        let rebuilt =
+            DartStore::from_memory(store.config().clone(), store.memory().to_vec()).unwrap();
+        assert_eq!(rebuilt.ring_tail(b"events"), Some(tail));
+    }
+
+    #[test]
+    fn increment_totals_are_exact() {
+        let mut store = DartStore::new(increment_config(1 << 10));
+        for _ in 0..100 {
+            store.increment(b"flow:a", 3).unwrap();
+        }
+        store.increment(b"flow:b", 7).unwrap();
+        assert_eq!(
+            store.query(b"flow:a"),
+            QueryOutcome::Answer(300u64.to_be_bytes().to_vec())
+        );
+        assert_eq!(
+            store.query(b"flow:b"),
+            QueryOutcome::Answer(7u64.to_be_bytes().to_vec())
+        );
+        assert_eq!(store.query(b"flow:never"), QueryOutcome::Empty);
+    }
+
+    #[test]
+    fn increment_reports_conservative_minimum_under_partial_loss() {
+        let mut store = DartStore::new(increment_config(1 << 10));
+        // Copy 0 sees all 10 adds; copy 1 loses 4 of them.
+        for i in 0..10u64 {
+            store
+                .insert_copy(b"flow:a", &5u64.to_be_bytes(), 0)
+                .unwrap();
+            if i % 3 != 0 {
+                store
+                    .insert_copy(b"flow:a", &5u64.to_be_bytes(), 1)
+                    .unwrap();
+            }
+        }
+        let QueryOutcome::Answer(total) = store.query(b"flow:a") else {
+            panic!("expected a total");
+        };
+        let total = u64::from_be_bytes(total.try_into().unwrap());
+        assert_eq!(total, 30, "minimum over copies never overcounts");
     }
 
     #[test]

@@ -114,6 +114,13 @@ pub enum EventKind {
         /// blackhole/degrade).
         wiped: bool,
     },
+    /// A collector NIC committed a Key-Increment FETCH_ADD.
+    CounterCommit {
+        /// Receiving collector index.
+        collector: u8,
+        /// Counter word value before the add (0 = first increment).
+        original: u64,
+    },
 }
 
 impl EventKind {
@@ -133,6 +140,7 @@ impl EventKind {
             EventKind::ProbeBackoff { .. } => "probe_backoff",
             EventKind::LivenessFlip { .. } => "liveness_flip",
             EventKind::Recovery { .. } => "recovery",
+            EventKind::CounterCommit { .. } => "counter_commit",
         }
     }
 }

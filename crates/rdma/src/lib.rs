@@ -38,7 +38,7 @@ pub mod nic;
 pub mod qp;
 pub mod verbs;
 
-pub use mr::{AccessFlags, MemoryHandle, MemoryRegion};
+pub use mr::{AccessFlags, CommitKind, MemoryHandle, MemoryRegion};
 pub use nic::{NicCounters, NicError, RNic};
 pub use qp::{QpState, QueuePair, Transport};
 pub use verbs::{Device, RemoteEndpoint};

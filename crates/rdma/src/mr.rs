@@ -63,6 +63,23 @@ pub enum AccessKind {
     Atomic,
 }
 
+/// The commit semantics a region was registered for — how the NIC
+/// classifies inbound operations that land in it. Purely an accounting
+/// and dispatch tag: Key-Write and Append regions both receive RDMA
+/// WRITEs on the wire, but a NIC serving an Append region counts ring
+/// commits separately so cross-layer metric identities can distinguish
+/// the primitives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CommitKind {
+    /// Last-writer-wins slot writes (Key-Write).
+    #[default]
+    Write,
+    /// Ring-entry commits (Append).
+    Append,
+    /// FETCH_ADD counter commits (Key-Increment).
+    FetchAdd,
+}
+
 /// Shared, lock-protected backing storage of a region.
 #[derive(Debug, Clone)]
 pub struct MemoryHandle {
@@ -98,19 +115,33 @@ pub struct MemoryRegion {
     base_va: u64,
     rkey: u32,
     access: AccessFlags,
+    commit: CommitKind,
     bytes: Arc<RwLock<Vec<u8>>>,
 }
 
 impl MemoryRegion {
     /// Register a zeroed region of `len` bytes at virtual address
-    /// `base_va` with remote key `rkey`.
+    /// `base_va` with remote key `rkey` (commit kind
+    /// [`CommitKind::Write`]).
     pub fn new(base_va: u64, len: usize, rkey: u32, access: AccessFlags) -> MemoryRegion {
         MemoryRegion {
             base_va,
             rkey,
             access,
+            commit: CommitKind::default(),
             bytes: Arc::new(RwLock::new(vec![0u8; len])),
         }
+    }
+
+    /// Tag the region with its commit semantics.
+    pub fn with_commit(mut self, commit: CommitKind) -> MemoryRegion {
+        self.commit = commit;
+        self
+    }
+
+    /// The commit semantics the region was registered for.
+    pub fn commit(&self) -> CommitKind {
+        self.commit
     }
 
     /// The region's virtual base address.

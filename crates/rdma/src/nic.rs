@@ -22,8 +22,14 @@ use std::collections::{HashMap, VecDeque};
 
 use dta_wire::{ethernet, ipv4, roce, udp};
 
-use crate::mr::{AccessError, MemoryRegion};
+use crate::mr::{AccessError, AccessKind, CommitKind, MemoryRegion};
 use crate::qp::{PsnVerdict, QueuePair, Transport};
+
+/// Bounded retries for the FETCH_ADD compare-swap commit loop before
+/// falling back to the region's native fetch-add. Real HCAs serialize
+/// atomics in the PCIe complex; the emulation models the same
+/// read-modify-write as optimistic CAS with a small retry budget.
+const FETCH_ADD_CAS_RETRIES: usize = 8;
 
 /// Why a frame was dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -187,6 +193,10 @@ pub struct NicCounters {
     pub writes_overwritten: u64,
     /// Payload bytes DMA'd by WRITEs.
     pub write_bytes: u64,
+    /// WRITEs that landed in a region registered with
+    /// [`CommitKind::Append`] — ring-entry commits. A subset of
+    /// `writes`, so the fresh/overwritten identities still hold.
+    pub appends: u64,
     /// FETCH_ADD operations executed.
     pub fetch_adds: u64,
     /// COMPARE_SWAP operations executed.
@@ -499,9 +509,13 @@ impl RNic {
                         .and_then(|end| mem.get(offset..end))
                         .is_some_and(|range| range.iter().all(|&b| b == 0))
                 });
+                let commit = mr.commit();
                 match mr.write(reth.virtual_addr, payload) {
                     Ok(()) => {
                         self.counters.writes += 1;
+                        if commit == CommitKind::Append {
+                            self.counters.appends += 1;
+                        }
                         if fresh {
                             self.counters.writes_fresh += 1;
                         } else {
@@ -529,6 +543,26 @@ impl RNic {
                 }
             }
             roce::RoceRepr::FetchAdd { atomic, .. } => self.run_atomic(atomic, true, |mr, a| {
+                // Commit as an optimistic compare-swap retry loop: peek
+                // the current big-endian word, attempt to swap in
+                // current + addend, and succeed only if nobody raced in
+                // between. Bounded, with the region's serialized
+                // fetch-add as the guaranteed-progress fallback.
+                mr.check_access(a.virtual_addr, 8, AccessKind::Atomic)?;
+                let handle = mr.handle();
+                let off = (a.virtual_addr - mr.base_va()) as usize;
+                for _ in 0..FETCH_ADD_CAS_RETRIES {
+                    let current = handle
+                        .with(|mem| u64::from_be_bytes(mem[off..off + 8].try_into().unwrap()));
+                    let original = mr.compare_swap(
+                        a.virtual_addr,
+                        current,
+                        current.wrapping_add(a.swap_or_add),
+                    )?;
+                    if original == current {
+                        return Ok(original);
+                    }
+                }
                 mr.fetch_add(a.virtual_addr, a.swap_or_add)
             }),
             roce::RoceRepr::CompareSwap { atomic, .. } => {

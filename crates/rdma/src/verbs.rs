@@ -14,7 +14,7 @@
 
 use dta_wire::{ethernet, ipv4, roce::Psn};
 
-use crate::mr::{AccessFlags, MemoryHandle, MemoryRegion};
+use crate::mr::{AccessFlags, CommitKind, MemoryHandle, MemoryRegion};
 use crate::nic::{NicError, RNic};
 use crate::qp::{QueuePair, Transport};
 
@@ -70,16 +70,30 @@ impl Device {
     }
 
     /// Register a telemetry region of `len` bytes at `base_va`,
-    /// returning its rkey and a read handle for the query engine.
+    /// returning its rkey and a read handle for the query engine
+    /// (commit kind [`CommitKind::Write`]).
     pub fn register_region(
         &mut self,
         base_va: u64,
         len: usize,
         access: AccessFlags,
     ) -> Result<(u32, MemoryHandle), NicError> {
+        self.register_region_with_commit(base_va, len, access, CommitKind::Write)
+    }
+
+    /// Register a telemetry region tagged with explicit commit
+    /// semantics — how the NIC accounts for operations landing in it
+    /// (Key-Write writes, Append ring commits, Key-Increment fetch-adds).
+    pub fn register_region_with_commit(
+        &mut self,
+        base_va: u64,
+        len: usize,
+        access: AccessFlags,
+        commit: CommitKind,
+    ) -> Result<(u32, MemoryHandle), NicError> {
         let rkey = self.next_rkey;
         self.next_rkey += 1;
-        let mr = MemoryRegion::new(base_va, len, rkey, access);
+        let mr = MemoryRegion::new(base_va, len, rkey, access).with_commit(commit);
         let handle = mr.handle();
         self.nic.register_mr(mr)?;
         Ok((rkey, handle))

@@ -275,6 +275,7 @@ mod tests {
                 },
                 collectors,
                 udp_src_port: 49152,
+                primitive: dta_core::PrimitiveSpec::KeyWrite,
             },
             7,
         )

@@ -19,11 +19,11 @@
 use dta_core::hash::{
     failover_collector, AddressMapping, CrcMapping, FailoverTarget, LivenessMask,
 };
+use dta_core::primitive::{append_encode_entry, increment_decode, PrimitiveSpec};
 use dta_obs::{Counter, EventKind, Obs};
 use dta_rdma::verbs::RemoteEndpoint;
 use dta_wire::dart::SlotLayout;
-use dta_wire::roce::{self, BthRepr, Opcode, Psn, RethRepr};
-use dta_wire::{ethernet, ipv4, udp};
+use dta_wire::roce::{self, AtomicEthRepr, BthRepr, Opcode, Psn, RethRepr};
 
 use crate::externs::{RandomExtern, RegisterArray};
 use crate::tables::{InstallError, MatchActionTable};
@@ -59,6 +59,12 @@ pub enum SwitchError {
     },
     /// Every liveness register reads dead — no collector to report to.
     NoLiveCollector,
+    /// The configured primitive is invalid for this geometry, or a
+    /// primitive-specific craft entry point was called under a different
+    /// primitive.
+    InvalidPrimitive(&'static str),
+    /// An append ring index beyond the configured ring count.
+    RingOutOfRange(u64),
 }
 
 impl core::fmt::Display for SwitchError {
@@ -81,6 +87,8 @@ impl core::fmt::Display for SwitchError {
                 "region of {available} B cannot hold {required} B of slots"
             ),
             SwitchError::NoLiveCollector => write!(f, "all collectors marked dead"),
+            SwitchError::InvalidPrimitive(msg) => write!(f, "invalid primitive: {msg}"),
+            SwitchError::RingOutOfRange(ring) => write!(f, "append ring {ring} out of range"),
         }
     }
 }
@@ -100,6 +108,20 @@ pub struct EgressConfig {
     pub collectors: u32,
     /// UDP source port for crafted reports.
     pub udp_src_port: u16,
+    /// Which translation primitive this pipeline runs.
+    pub primitive: PrimitiveSpec,
+}
+
+impl EgressConfig {
+    /// Bytes one entry occupies under the configured primitive.
+    pub fn entry_len(&self) -> usize {
+        self.primitive.entry_len(&self.layout)
+    }
+
+    /// Number of append rings (1 for the non-ring primitives).
+    pub fn rings(&self) -> u64 {
+        self.primitive.rings(self.slots)
+    }
 }
 
 /// One crafted DART report, ready for the wire.
@@ -149,6 +171,12 @@ pub struct DartEgress {
     rng: RandomExtern,
     collector_table: MatchActionTable<u32, RemoteEndpoint>,
     psn_registers: RegisterArray<u32>,
+    /// Append tail-pointer registers, one per (collector, ring), laid
+    /// out `collector * rings + ring`. Each holds the *last stored*
+    /// sequence number of its ring (0 = never written); the data plane
+    /// post-increments it per append, exactly the PSN-register idiom.
+    /// Empty for the non-ring primitives.
+    tail_registers: RegisterArray<u32>,
     /// One bit of mutable state per collector: alive (1) or dead (0),
     /// written by the control plane's health monitor, read feed-forward
     /// by every report (§6's register-extern-only constraint).
@@ -167,11 +195,24 @@ impl DartEgress {
         if !config.slots.is_power_of_two() {
             return Err(SwitchError::SlotsNotPowerOfTwo(config.slots));
         }
+        config
+            .primitive
+            .validate(config.slots, config.copies, &config.layout)
+            .map_err(|e| match e {
+                dta_core::DartError::InvalidConfig(msg) => SwitchError::InvalidPrimitive(msg),
+                _ => SwitchError::InvalidPrimitive("primitive rejected the geometry"),
+            })?;
         let collectors = usize::try_from(config.collectors).unwrap();
         let mut liveness = RegisterArray::new(collectors);
         for id in 0..collectors {
             liveness.write(id, 1).expect("sized above");
         }
+        // Tail registers only exist for the ring primitive; Key-Write
+        // and Key-Increment keep the SRAM.
+        let tail_cells = match config.primitive {
+            PrimitiveSpec::Append { .. } => collectors * config.rings() as usize,
+            _ => 0,
+        };
         Ok(DartEgress {
             identity,
             config,
@@ -179,6 +220,7 @@ impl DartEgress {
             rng: RandomExtern::new(rng_seed),
             collector_table: MatchActionTable::new(collectors),
             psn_registers: RegisterArray::new(collectors),
+            tail_registers: RegisterArray::new(tail_cells),
             liveness,
             counters: EgressCounters::default(),
             obs: None,
@@ -221,7 +263,7 @@ impl DartEgress {
         collector_id: u32,
         endpoint: RemoteEndpoint,
     ) -> Result<(), SwitchError> {
-        let required = self.config.slots * self.config.layout.slot_len() as u64;
+        let required = self.config.slots * self.config.entry_len() as u64;
         if endpoint.region_len < required {
             return Err(SwitchError::RegionTooSmall {
                 required,
@@ -272,6 +314,40 @@ impl DartEgress {
             .map_err(|_| SwitchError::UnknownCollector(collector_id))
     }
 
+    /// Control-plane write of one append tail register (the last stored
+    /// sequence number of `(collector_id, ring)`) — used when a switch
+    /// re-attaches to a collector whose rings already hold data, and by
+    /// wraparound tests to pre-wind a tail next to the `u32` modulus.
+    pub fn set_ring_tail(
+        &mut self,
+        collector_id: u32,
+        ring: u64,
+        stored_seq: u32,
+    ) -> Result<(), SwitchError> {
+        let rings = self.config.rings();
+        if ring >= rings {
+            return Err(SwitchError::RingOutOfRange(ring));
+        }
+        self.tail_registers
+            .write(
+                collector_id as usize * rings as usize + ring as usize,
+                stored_seq,
+            )
+            .map_err(|_| SwitchError::UnknownCollector(collector_id))
+    }
+
+    /// Read one append tail register (None when out of range or the
+    /// primitive has no rings).
+    pub fn ring_tail(&self, collector_id: u32, ring: u64) -> Option<u32> {
+        let rings = self.config.rings();
+        if ring >= rings {
+            return None;
+        }
+        self.tail_registers
+            .read(collector_id as usize * rings as usize + ring as usize)
+            .ok()
+    }
+
     /// Data-plane collector resolution: the primary hash, then the
     /// liveness registers. A dead primary's report is remapped onto a
     /// live survivor by [`failover_collector`] — the identical function
@@ -316,6 +392,35 @@ impl DartEgress {
         6 + 4 + 3 + 4 + 3
     }
 
+    /// Total register/table SRAM this switch dedicates to DART state
+    /// under the configured primitive: the per-collector lookup entry +
+    /// PSN register, plus 4 bytes per append tail register. This is what
+    /// the Append primitive costs over the paper's ~20 B/collector —
+    /// still register-file state, never per-flow state.
+    pub fn sram_bytes(&self) -> usize {
+        self.config.collectors as usize * Self::sram_bytes_per_collector()
+            + self.tail_registers.len() * 4
+    }
+
+    /// Craft every frame one report requires under the configured
+    /// primitive — the unified entry point the pipeline dispatches
+    /// through:
+    ///
+    /// * Key-Write: `N` RDMA WRITEs, one per redundant copy;
+    /// * Append: one WRITE landing the entry at the ring tail;
+    /// * Key-Increment: `N` RC FETCH_ADDs, one per counter copy.
+    pub fn craft(&mut self, key: &[u8], value: &[u8]) -> Result<Vec<CraftedReport>, SwitchError> {
+        match self.config.primitive {
+            PrimitiveSpec::KeyWrite => (0..self.config.copies)
+                .map(|copy| self.craft_report_copy(key, value, copy))
+                .collect(),
+            PrimitiveSpec::Append { .. } => Ok(vec![self.craft_append(key, value)?]),
+            PrimitiveSpec::KeyIncrement => (0..self.config.copies)
+                .map(|copy| self.craft_increment_copy(key, value, copy))
+                .collect(),
+        }
+    }
+
     /// Craft one report with an RNG-chosen copy index.
     pub fn craft_report(&mut self, key: &[u8], value: &[u8]) -> Result<CraftedReport, SwitchError> {
         let copy = self.rng.next_below(self.config.copies);
@@ -330,6 +435,11 @@ impl DartEgress {
         value: &[u8],
         copy: u8,
     ) -> Result<CraftedReport, SwitchError> {
+        if self.config.primitive != PrimitiveSpec::KeyWrite {
+            return Err(SwitchError::InvalidPrimitive(
+                "craft_report is the Key-Write path; use craft()",
+            ));
+        }
         if key.len() > MAX_KEY_LEN {
             return Err(SwitchError::KeyTooLong(key.len()));
         }
@@ -402,6 +512,11 @@ impl DartEgress {
         key: &[u8],
         value: &[u8],
     ) -> Result<CraftedReport, SwitchError> {
+        if self.config.primitive != PrimitiveSpec::KeyWrite {
+            return Err(SwitchError::InvalidPrimitive(
+                "multiwrite is a Key-Write (§7) extension",
+            ));
+        }
         if key.len() > MAX_KEY_LEN {
             return Err(SwitchError::KeyTooLong(key.len()));
         }
@@ -482,6 +597,180 @@ impl DartEgress {
         })
     }
 
+    /// Craft the single WRITE that lands one append entry at its ring's
+    /// tail. The listkey names the ring (`slot(listkey, 0, rings)`); the
+    /// tail register names the position; the entry carries its own
+    /// sequence number so readers stay stateless across wraparound.
+    pub fn craft_append(
+        &mut self,
+        listkey: &[u8],
+        value: &[u8],
+    ) -> Result<CraftedReport, SwitchError> {
+        let ring_capacity = match self.config.primitive {
+            PrimitiveSpec::Append { ring_capacity } => ring_capacity,
+            _ => {
+                return Err(SwitchError::InvalidPrimitive(
+                    "craft_append requires the Append primitive",
+                ))
+            }
+        };
+        if listkey.len() > MAX_KEY_LEN {
+            return Err(SwitchError::KeyTooLong(listkey.len()));
+        }
+        if value.len() != self.config.layout.value_len {
+            return Err(SwitchError::ValueLength {
+                expected: self.config.layout.value_len,
+                actual: value.len(),
+            });
+        }
+
+        let collector_id = self.resolve_collector(listkey)?;
+        let rings = self.config.rings();
+        let ring = self.mapping.slot(listkey, 0, rings);
+        let key_checksum = self.mapping.key_checksum(listkey);
+        let endpoint = match self.collector_table.lookup(&collector_id) {
+            Some(ep) => *ep,
+            None => {
+                self.counters.unknown_collector += 1;
+                if let Some(o) = &self.obs {
+                    o.unknown_collector.inc();
+                }
+                return Err(SwitchError::UnknownCollector(collector_id));
+            }
+        };
+
+        // Tail register: post-increment over the full u32 range. The
+        // stateful ALU returns the OLD value, so re-apply the transform
+        // for the sequence number this entry stores.
+        let old = self
+            .tail_registers
+            .read_modify_write(
+                collector_id as usize * rings as usize + ring as usize,
+                |v| v.wrapping_add(1),
+            )
+            .expect("tail registers sized to collectors × rings");
+        let stored = old.wrapping_add(1);
+        let position = u64::from(stored.wrapping_sub(1)) % ring_capacity;
+
+        let raw = self
+            .psn_registers
+            .read_modify_write(collector_id as usize, |v| (v + 1) & (Psn::MODULUS - 1))
+            .expect("register array sized to collectors");
+        let psn = Psn::new(raw);
+
+        let entry_len = self.config.entry_len();
+        let mut payload = vec![0u8; entry_len];
+        append_encode_entry(
+            &self.config.layout,
+            stored,
+            key_checksum,
+            value,
+            &mut payload,
+        )
+        .expect("lengths validated above");
+
+        let slot = ring * ring_capacity + position;
+        let va = endpoint.base_va + slot * entry_len as u64;
+        let frame = self.deparse(&endpoint, psn, va, payload);
+        self.counters.reports += 1;
+        if let Some(o) = &self.obs {
+            o.reports.inc();
+            o.obs.event(EventKind::ReportCrafted {
+                switch: self.identity.switch_id,
+                collector: collector_id as u8,
+                copy: 0,
+                psn: psn.value(),
+            });
+        }
+        Ok(CraftedReport {
+            collector_id,
+            copy: 0,
+            slot,
+            psn,
+            frame,
+        })
+    }
+
+    /// Craft the RC FETCH_ADD that adds this report's delta (the 8-byte
+    /// big-endian value) into copy `copy`'s counter word. Atomics are
+    /// RC-only in the RDMA spec, so the frame requests an ACK; the
+    /// pipeline fire-and-forgets it §6-style.
+    pub fn craft_increment_copy(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        copy: u8,
+    ) -> Result<CraftedReport, SwitchError> {
+        if self.config.primitive != PrimitiveSpec::KeyIncrement {
+            return Err(SwitchError::InvalidPrimitive(
+                "craft_increment requires the Key-Increment primitive",
+            ));
+        }
+        if key.len() > MAX_KEY_LEN {
+            return Err(SwitchError::KeyTooLong(key.len()));
+        }
+        let delta = increment_decode(value).map_err(|_| SwitchError::ValueLength {
+            expected: 8,
+            actual: value.len(),
+        })?;
+
+        let collector_id = self.resolve_collector(key)?;
+        let slot = self.mapping.slot(key, copy, self.config.slots);
+        let endpoint = match self.collector_table.lookup(&collector_id) {
+            Some(ep) => *ep,
+            None => {
+                self.counters.unknown_collector += 1;
+                if let Some(o) = &self.obs {
+                    o.unknown_collector.inc();
+                }
+                return Err(SwitchError::UnknownCollector(collector_id));
+            }
+        };
+        let raw = self
+            .psn_registers
+            .read_modify_write(collector_id as usize, |v| (v + 1) & (Psn::MODULUS - 1))
+            .expect("register array sized to collectors");
+        let psn = Psn::new(raw);
+
+        let entry_len = self.config.entry_len() as u64;
+        let packet = roce::RoceRepr::FetchAdd {
+            bth: BthRepr {
+                opcode: Opcode::RcFetchAdd,
+                solicited: false,
+                migration: true,
+                pad_count: 0,
+                partition_key: 0xFFFF,
+                dest_qp: endpoint.qpn,
+                ack_request: true,
+                psn: psn.value(),
+            },
+            atomic: AtomicEthRepr {
+                virtual_addr: endpoint.base_va + slot * entry_len,
+                rkey: endpoint.rkey,
+                swap_or_add: delta,
+                compare: 0,
+            },
+        };
+        let frame = self.deparse_packet(&endpoint, &packet);
+        self.counters.reports += 1;
+        if let Some(o) = &self.obs {
+            o.reports.inc();
+            o.obs.event(EventKind::ReportCrafted {
+                switch: self.identity.switch_id,
+                collector: collector_id as u8,
+                copy,
+                psn: psn.value(),
+            });
+        }
+        Ok(CraftedReport {
+            collector_id,
+            copy,
+            slot,
+            psn,
+            frame,
+        })
+    }
+
     /// The deparser for a standard RDMA WRITE report.
     fn deparse(&self, endpoint: &RemoteEndpoint, psn: Psn, va: u64, payload: Vec<u8>) -> Vec<u8> {
         let pad_count = ((4 - payload.len() % 4) % 4) as u8;
@@ -505,53 +794,17 @@ impl DartEgress {
     }
 
     /// The generic deparser: emit the full header stack and iCRC trailer
-    /// for any transport packet.
+    /// for any transport packet (shared with the sketch reporter —
+    /// see [`crate::deparse`]).
     fn deparse_packet(&self, endpoint: &RemoteEndpoint, packet: &roce::RoceRepr) -> Vec<u8> {
-        let transport_len = packet.buffer_len() + roce::ICRC_LEN;
-
-        let eth_repr = ethernet::Repr {
-            src_addr: self.identity.mac,
-            dst_addr: endpoint.mac,
-            ethertype: ethernet::EtherType::Ipv4,
-        };
-        let ip_repr = ipv4::Repr {
-            src_addr: self.identity.ip,
-            dst_addr: endpoint.ip,
-            protocol: ipv4::Protocol::Udp,
-            payload_len: udp::HEADER_LEN + transport_len,
-            ttl: 64,
-            tos: 0,
-        };
-        let udp_repr = udp::Repr {
-            src_port: self.config.udp_src_port,
-            dst_port: udp::ROCEV2_PORT,
-            payload_len: transport_len,
-        };
-
-        let total = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN + transport_len;
-        let mut frame = vec![0u8; total];
-        let mut eth = ethernet::Frame::new_unchecked(&mut frame[..]);
-        eth_repr.emit(&mut eth);
-        let mut ip = ipv4::Packet::new_unchecked(eth.payload_mut());
-        ip_repr.emit(&mut ip);
-        let mut dgram = udp::Datagram::new_unchecked(ip.payload_mut());
-        udp_repr.emit(&mut dgram);
-
-        let ip_start = ethernet::HEADER_LEN;
-        let udp_start = ip_start + ipv4::HEADER_LEN;
-        let roce_start = udp_start + udp::HEADER_LEN;
-        packet.emit(&mut frame[roce_start..roce_start + packet.buffer_len()]);
-
-        // iCRC via the CRC-32 extern.
-        let (head, tail) = frame.split_at_mut(roce_start);
-        let crc = roce::icrc::compute(
-            &head[ip_start..ip_start + ipv4::HEADER_LEN],
-            &head[udp_start..udp_start + udp::HEADER_LEN],
-            &tail[..packet.buffer_len()],
-        );
-        tail[packet.buffer_len()..packet.buffer_len() + roce::ICRC_LEN]
-            .copy_from_slice(&crc.to_le_bytes());
-        frame
+        crate::deparse::deparse_roce_frame(
+            self.identity.mac,
+            endpoint.mac,
+            self.identity.ip,
+            endpoint.ip,
+            self.config.udp_src_port,
+            packet,
+        )
     }
 }
 
@@ -569,6 +822,7 @@ impl core::fmt::Debug for DartEgress {
 mod tests {
     use super::*;
     use dta_wire::dart::ChecksumWidth;
+    use dta_wire::{ethernet, ipv4};
 
     fn endpoint() -> RemoteEndpoint {
         RemoteEndpoint {
@@ -592,6 +846,7 @@ mod tests {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: dta_core::PrimitiveSpec::KeyWrite,
         }
     }
 

@@ -101,9 +101,12 @@ impl IntSwitch {
         padded_hops: usize,
         rng_seed: u64,
     ) -> Result<IntSwitch, SwitchError> {
-        debug_assert_eq!(
-            padded_hops * HopMetadata::WIRE_LEN,
-            config.layout.value_len,
+        // In-band path values are only produced by the WRITE-based
+        // primitives; Key-Increment stores 8-byte counter words and its
+        // INT reporting path is guarded off in the egress.
+        debug_assert!(
+            config.primitive == dta_core::PrimitiveSpec::KeyIncrement
+                || padded_hops * HopMetadata::WIRE_LEN == config.layout.value_len,
             "value length must fit the padded hop count"
         );
         let egress = DartEgress::new(identity, config, rng_seed)?;
@@ -221,6 +224,7 @@ mod tests {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: dta_core::PrimitiveSpec::KeyWrite,
         }
     }
 

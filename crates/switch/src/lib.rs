@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod control_plane;
+pub mod deparse;
 pub mod egress;
 pub mod event_filter;
 pub mod externs;

@@ -9,14 +9,18 @@
 //! spec only defines atomics for reliable services; the collector NIC
 //! ACKs each atomic (the switch pipeline ignores ACKs, §6-style).
 
-use dta_core::sketch::CmSketchGeometry;
 use dta_rdma::verbs::RemoteEndpoint;
 use dta_wire::roce::{AtomicEthRepr, BthRepr, Opcode, Psn, RoceRepr};
-use dta_wire::{ethernet, ipv4, udp};
 
+use crate::deparse::deparse_roce_frame;
 use crate::egress::SwitchError;
 use crate::externs::RegisterArray;
 use crate::SwitchIdentity;
+
+/// The sketch geometry and reader live in `dta-core` — one source of
+/// truth for the row hashing shared by writers and readers; re-exported
+/// here so switch-side code has no second definition to drift from.
+pub use dta_core::sketch::{CmSketchGeometry, CmSketchView};
 
 /// Crafts FETCH_ADD streams that maintain a remote Count-Min sketch.
 pub struct SketchReporter {
@@ -98,48 +102,14 @@ impl SketchReporter {
     fn deparse(&self, packet: &RoceRepr) -> Vec<u8> {
         // Identical header stack to the report deparser; sketch updates
         // are just another RoCEv2 stream from the same pipeline.
-        let transport_len = packet.buffer_len() + dta_wire::roce::ICRC_LEN;
-        let total = ethernet::HEADER_LEN + ipv4::HEADER_LEN + udp::HEADER_LEN + transport_len;
-        let mut frame = vec![0u8; total];
-
-        let eth_repr = ethernet::Repr {
-            src_addr: self.identity.mac,
-            dst_addr: self.endpoint.mac,
-            ethertype: ethernet::EtherType::Ipv4,
-        };
-        let ip_repr = ipv4::Repr {
-            src_addr: self.identity.ip,
-            dst_addr: self.endpoint.ip,
-            protocol: ipv4::Protocol::Udp,
-            payload_len: udp::HEADER_LEN + transport_len,
-            ttl: 64,
-            tos: 0,
-        };
-        let udp_repr = udp::Repr {
-            src_port: self.udp_src_port,
-            dst_port: udp::ROCEV2_PORT,
-            payload_len: transport_len,
-        };
-        let mut eth = ethernet::Frame::new_unchecked(&mut frame[..]);
-        eth_repr.emit(&mut eth);
-        let mut ip = ipv4::Packet::new_unchecked(eth.payload_mut());
-        ip_repr.emit(&mut ip);
-        let mut dgram = udp::Datagram::new_unchecked(ip.payload_mut());
-        udp_repr.emit(&mut dgram);
-
-        let ip_start = ethernet::HEADER_LEN;
-        let udp_start = ip_start + ipv4::HEADER_LEN;
-        let roce_start = udp_start + udp::HEADER_LEN;
-        packet.emit(&mut frame[roce_start..roce_start + packet.buffer_len()]);
-        let (head, tail) = frame.split_at_mut(roce_start);
-        let crc = dta_wire::roce::icrc::compute(
-            &head[ip_start..ip_start + ipv4::HEADER_LEN],
-            &head[udp_start..udp_start + udp::HEADER_LEN],
-            &tail[..packet.buffer_len()],
-        );
-        tail[packet.buffer_len()..packet.buffer_len() + dta_wire::roce::ICRC_LEN]
-            .copy_from_slice(&crc.to_le_bytes());
-        frame
+        deparse_roce_frame(
+            self.identity.mac,
+            self.endpoint.mac,
+            self.identity.ip,
+            self.endpoint.ip,
+            self.udp_src_port,
+            packet,
+        )
     }
 }
 
@@ -156,6 +126,7 @@ impl core::fmt::Debug for SketchReporter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dta_wire::{ethernet, ipv4, udp};
 
     fn geometry() -> CmSketchGeometry {
         CmSketchGeometry {
@@ -218,6 +189,44 @@ mod tests {
             }
         }
         assert_eq!(psns, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn row_hashes_are_pinned_to_core() {
+        // The switch has no sketch hashing of its own: the row addresses
+        // it aims FETCH_ADDs at are exactly the core geometry's, pinned
+        // here so neither side can drift without this test moving.
+        let g = geometry();
+        let vas = g.update_vas(b"flow-x");
+        assert_eq!(
+            vas,
+            dta_core::sketch::CmSketchGeometry {
+                base_va: 0x8000,
+                depth: 3,
+                width: 64,
+                seed: 5,
+            }
+            .update_vas(b"flow-x")
+        );
+        // Every VA is in its own row's band and 8-byte aligned.
+        for (row, va) in vas.iter().enumerate() {
+            let row_base = 0x8000 + (row as u64) * 64 * 8;
+            assert!((row_base..row_base + 64 * 8).contains(va));
+            assert_eq!(va % 8, 0);
+        }
+        let frames = SketchReporter::new(SwitchIdentity::derived(4), g, endpoint(), 49152)
+            .unwrap()
+            .craft_update(b"flow-x", 1);
+        for (frame, va) in frames.iter().zip(&vas) {
+            let eth = ethernet::Frame::new_checked(&frame[..]).unwrap();
+            let ip = ipv4::Packet::new_checked(eth.payload()).unwrap();
+            let dgram = udp::Datagram::new_checked(ip.payload()).unwrap();
+            let body = &dgram.payload()[..dgram.payload().len() - 4];
+            match RoceRepr::parse(body).unwrap() {
+                RoceRepr::FetchAdd { atomic, .. } => assert_eq!(atomic.virtual_addr, *va),
+                other => panic!("expected FetchAdd, got {other:?}"),
+            }
+        }
     }
 
     #[test]

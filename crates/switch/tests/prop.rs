@@ -40,6 +40,7 @@ fn egress(copies: u8, seed: u64) -> DartEgress {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: dta_core::PrimitiveSpec::KeyWrite,
         },
         seed,
     )

@@ -17,6 +17,10 @@ pub mod tag {
     pub const ANOMALY: u8 = 0x05;
     /// Network failures (row 6).
     pub const FAILURE: u8 = 0x06;
+    /// Per-flow counters over the Key-Increment primitive.
+    pub const FLOW_COUNT: u8 = 0x07;
+    /// Per-flow event logs (postcard streams) over the Append primitive.
+    pub const EVENT_LOG: u8 = 0x08;
 }
 
 /// A telemetry backend: how a measurement technique maps onto the DART
@@ -78,6 +82,8 @@ mod tests {
             tag::TRACE,
             tag::ANOMALY,
             tag::FAILURE,
+            tag::FLOW_COUNT,
+            tag::EVENT_LOG,
         ];
         let unique: std::collections::HashSet<_> = tags.iter().collect();
         assert_eq!(unique.len(), tags.len());

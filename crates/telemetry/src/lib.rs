@@ -28,6 +28,7 @@
 pub mod anomaly;
 pub mod event;
 pub mod failure;
+pub mod flow_count;
 pub mod int_path;
 pub mod postcard;
 pub mod query_mirror;

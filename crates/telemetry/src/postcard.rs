@@ -88,6 +88,35 @@ impl Backend for PostcardBackend {
     }
 }
 
+impl PostcardBackend {
+    /// The Append listkey for a `(switch, flow)` postcard *stream*.
+    ///
+    /// Key-Write keeps only the freshest postcard per `(switch, flow)`;
+    /// routed through the Append primitive instead, every report lands
+    /// in the listkey's ring and the operator reads the recent history.
+    /// A distinct domain tag keeps ring listkeys from colliding with the
+    /// slot keys of the overwrite-mode backend.
+    pub fn encode_log_key(key: &PostcardKey) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 4 + FiveTuple::WIRE_LEN);
+        out.push(tag::EVENT_LOG);
+        out.extend_from_slice(&key.switch_id.to_be_bytes());
+        out.extend_from_slice(&key.flow.to_bytes());
+        out
+    }
+
+    /// Decode an Append query answer — the concatenated in-window
+    /// entries, oldest first — into the measurement history.
+    pub fn decode_log(bytes: &[u8]) -> Result<Vec<LocalMeasurement>> {
+        if bytes.len() % Self::VALUE_LEN != 0 {
+            return Err(dta_wire::Error::Truncated);
+        }
+        bytes
+            .chunks(Self::VALUE_LEN)
+            .map(Self::decode_value)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +179,29 @@ mod tests {
     #[test]
     fn key_tag() {
         assert_eq!(PostcardBackend::encode_key(&key())[0], tag::POSTCARD);
+    }
+
+    #[test]
+    fn log_key_is_domain_separated() {
+        let slot_key = PostcardBackend::encode_key(&key());
+        let log_key = PostcardBackend::encode_log_key(&key());
+        assert_eq!(log_key[0], tag::EVENT_LOG);
+        assert_ne!(slot_key, log_key);
+        assert_eq!(slot_key[1..], log_key[1..], "same body, different domain");
+    }
+
+    #[test]
+    fn log_roundtrip_oldest_first() {
+        let mut older = measurement();
+        older.ingress_ts = 1;
+        let newer = measurement();
+        let mut window = PostcardBackend::encode_value(&older);
+        window.extend(PostcardBackend::encode_value(&newer));
+        assert_eq!(
+            PostcardBackend::decode_log(&window).unwrap(),
+            vec![older, newer]
+        );
+        assert_eq!(PostcardBackend::decode_log(&[]).unwrap(), vec![]);
+        assert!(PostcardBackend::decode_log(&window[..25]).is_err());
     }
 }

@@ -81,6 +81,7 @@ impl EventSim {
                     layout,
                     collectors: 1,
                     udp_src_port: 49152,
+                    primitive: dta_core::PrimitiveSpec::KeyWrite,
                 },
                 seed ^ u64::from(id),
             )

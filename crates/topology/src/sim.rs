@@ -12,6 +12,7 @@ use std::collections::HashMap;
 use dta_collector::{CollectorCluster, CollectorHealth, FaultDrops};
 use dta_core::config::DartConfig;
 use dta_core::hash::MappingKind;
+use dta_core::primitive::{increment_encode, PrimitiveSpec};
 use dta_core::query::{classify, QueryClass, QueryOutcome, ReturnPolicy};
 use dta_obs::{EventKind, Obs};
 use dta_rdma::link::{link, FaultModel, LinkRx, LinkStats, LinkTx};
@@ -20,7 +21,7 @@ use dta_switch::control_plane::{ControlPlane, HealthMonitor, ProbeConfig};
 use dta_switch::egress::EgressConfig;
 use dta_switch::int_transit::{IntError, IntPacket, IntRole, IntSwitch};
 use dta_switch::SwitchIdentity;
-use dta_wire::dart::{ChecksumWidth, SlotLayout};
+use dta_wire::dart::ChecksumWidth;
 use dta_wire::roce::Psn;
 use dta_wire::FiveTuple;
 
@@ -75,6 +76,11 @@ pub struct CollectorFault {
 pub struct SimConfig {
     /// Fat-tree arity.
     pub k: u8,
+    /// The translation primitive reports commit through (§4). Key-Write
+    /// overwrites slots, Append grows per-listkey rings, Key-Increment
+    /// accumulates counters — all three ride the same egress → link →
+    /// NIC → store → query pipeline.
+    pub primitive: PrimitiveSpec,
     /// Slots per collector (power of two — switch constraint).
     pub slots: u64,
     /// Redundant copies per key (`N`).
@@ -106,6 +112,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             k: 4,
+            primitive: PrimitiveSpec::KeyWrite,
             slots: 1 << 14,
             copies: 2,
             collectors: 1,
@@ -140,6 +147,9 @@ pub struct SimReport {
     pub link: LinkStats,
     /// Total RDMA WRITEs executed by collector NICs.
     pub nic_writes: u64,
+    /// Total RDMA FETCH_ADDs executed by collector NICs (the
+    /// Key-Increment commit count; zero for the WRITE-based primitives).
+    pub nic_atomics: u64,
     /// Per-collector drop histograms (NIC receive-path reasons plus
     /// fabric-level fault drops), indexed by collector ID.
     pub drop_histograms: Vec<Vec<(DropReason, u64)>>,
@@ -215,6 +225,10 @@ pub struct FatTreeSim {
     flowgen: FlowGenerator,
     /// `(key 5-tuple, true value)` in insertion (age) order.
     truths: Vec<(FiveTuple, Vec<u8>)>,
+    /// Key-Increment only: index into `truths` per tuple, so a repeated
+    /// flow *accumulates* its expected total instead of inserting a
+    /// second (stale) truth entry.
+    truth_index: HashMap<FiveTuple, usize>,
     monitor: HealthMonitor,
     /// Scheduled faults not yet fired.
     pending_faults: Vec<CollectorFault>,
@@ -242,27 +256,31 @@ impl FatTreeSim {
     /// probes and decisions).
     pub fn new_with_obs(config: SimConfig, obs: Obs) -> Result<FatTreeSim, SimError> {
         let tree = FatTree::new(config.k)?;
-        let layout = SlotLayout {
-            checksum: config.checksum,
-            value_len: PATH_HOPS * 4,
-        };
 
         // Collectors first (their directory configures the switches).
+        // The builder normalises the geometry per primitive — Append has
+        // no copy fan-out, Key-Increment stores 8-byte counter words —
+        // so the switch egress config is derived from the *built* DART
+        // config, keeping both sides of the wire on one layout.
         let dart_config = DartConfig::builder()
             .slots(config.slots)
             .copies(config.copies)
             .checksum(config.checksum)
-            .value_len(layout.value_len)
+            .value_len(PATH_HOPS * 4)
             .collectors(config.collectors)
             .mapping(MappingKind::Crc)
             .policy(config.policy)
+            .primitive(config.primitive)
             .build()?;
+        let layout = dart_config.layout;
+        let copies = dart_config.copies;
         let mut cluster = CollectorCluster::with_fault_seed(dart_config, config.seed ^ 0xFA17)?;
         cluster.attach_obs(&obs);
 
         // Switches, each running the real egress pipeline.
         let egress_config = EgressConfig {
-            copies: config.copies,
+            primitive: config.primitive,
+            copies,
             slots: config.slots,
             layout,
             collectors: config.collectors,
@@ -301,6 +319,7 @@ impl FatTreeSim {
             rx,
             flowgen,
             truths: Vec::new(),
+            truth_index: HashMap::new(),
             monitor,
             pending_faults,
             pending_recoveries: Vec::new(),
@@ -349,20 +368,76 @@ impl FatTreeSim {
             .to_padded_value_bytes(PATH_HOPS)
             .map_err(|_| SimError::Switch(IntError::StackOverflow))?;
 
-        match self.config.mode {
-            ReportMode::AllCopies => {
-                for report in sink.report_all_copies(&flow.tuple, &packet.stack)? {
+        match self.config.primitive {
+            PrimitiveSpec::KeyWrite => {
+                match self.config.mode {
+                    ReportMode::AllCopies => {
+                        for report in sink.report_all_copies(&flow.tuple, &packet.stack)? {
+                            self.tx.send(report.frame);
+                        }
+                    }
+                    ReportMode::PerPacket(count) => {
+                        let key = flow.tuple.to_bytes();
+                        for _ in 0..count {
+                            let report = sink
+                                .egress_mut()
+                                .craft_report(&key, &truth)
+                                .map_err(IntError::Switch)?;
+                            self.tx.send(report.frame);
+                        }
+                    }
+                }
+                self.truths.push((flow.tuple, truth));
+            }
+            PrimitiveSpec::Append { .. } => {
+                // One ring entry per finished flow, whatever the report
+                // mode — Append has no copy fan-out to cover, and a
+                // repeated entry would (correctly) read back twice.
+                let key = flow.tuple.to_bytes();
+                for report in sink
+                    .egress_mut()
+                    .craft(&key, &truth)
+                    .map_err(IntError::Switch)?
+                {
                     self.tx.send(report.frame);
                 }
+                self.truths.push((flow.tuple, truth));
             }
-            ReportMode::PerPacket(count) => {
+            PrimitiveSpec::KeyIncrement => {
+                // The flow contributes FETCH_ADD deltas of 1 (a packet
+                // counter); `PerPacket(n)` models an n-packet flow. The
+                // ground truth is the *accumulated* expected total.
                 let key = flow.tuple.to_bytes();
-                for _ in 0..count {
-                    let report = sink
+                let reports = match self.config.mode {
+                    ReportMode::AllCopies => 1u64,
+                    ReportMode::PerPacket(count) => u64::from(count),
+                };
+                let delta = increment_encode(1);
+                for _ in 0..reports {
+                    for report in sink
                         .egress_mut()
-                        .craft_report(&key, &truth)
-                        .map_err(IntError::Switch)?;
-                    self.tx.send(report.frame);
+                        .craft(&key, &delta)
+                        .map_err(IntError::Switch)?
+                    {
+                        self.tx.send(report.frame);
+                    }
+                }
+                match self.truth_index.get(&flow.tuple) {
+                    Some(&i) => {
+                        let old = u64::from_be_bytes(
+                            self.truths[i]
+                                .1
+                                .as_slice()
+                                .try_into()
+                                .expect("8-byte truth"),
+                        );
+                        self.truths[i].1 = (old + reports).to_be_bytes().to_vec();
+                    }
+                    None => {
+                        self.truth_index.insert(flow.tuple, self.truths.len());
+                        self.truths
+                            .push((flow.tuple, reports.to_be_bytes().to_vec()));
+                    }
                 }
             }
         }
@@ -371,7 +446,6 @@ impl FatTreeSim {
         self.drain_link();
         self.advance_faults();
 
-        self.truths.push((flow.tuple, truth));
         Ok(flow.tuple)
     }
 
@@ -530,6 +604,59 @@ impl FatTreeSim {
         }
     }
 
+    /// Run one flow in *postcard-log mode*: every switch on the path
+    /// **appends** its local measurement to the `(switch ID, 5-tuple)`
+    /// event-log listkey, so the operator reads the recent measurement
+    /// history instead of only the freshest postcard. Requires the sim
+    /// to be configured with [`PrimitiveSpec::Append`].
+    pub fn run_flow_postcard_log(&mut self) -> Result<(FiveTuple, Vec<u32>), SimError> {
+        use dta_telemetry::event::Backend;
+        use dta_telemetry::postcard::{PostcardBackend, PostcardKey};
+
+        let flow = self.flowgen.next_flow();
+        let route = self.tree.route(flow.src, flow.dst, &flow.tuple)?;
+        for (hop, &switch_id) in route.iter().enumerate() {
+            let key = PostcardBackend::encode_log_key(&PostcardKey {
+                switch_id,
+                flow: flow.tuple,
+            });
+            let value =
+                PostcardBackend::encode_value(&Self::synthetic_measurement(hop as u32, switch_id));
+            let sw = self
+                .switches
+                .get_mut(&switch_id)
+                .expect("route within tree");
+            for report in sw
+                .egress_mut()
+                .craft(&key, &value)
+                .map_err(IntError::Switch)?
+            {
+                self.tx.send(report.frame);
+            }
+        }
+        self.drain_link();
+        self.advance_faults();
+        Ok((flow.tuple, route))
+    }
+
+    /// Query a postcard event log: "what has `switch_id` recently
+    /// measured for this flow?" — oldest first.
+    pub fn query_postcard_log(
+        &mut self,
+        switch_id: u32,
+        tuple: &FiveTuple,
+    ) -> Option<Vec<dta_telemetry::postcard::LocalMeasurement>> {
+        use dta_telemetry::postcard::{PostcardBackend, PostcardKey};
+        let key = PostcardBackend::encode_log_key(&PostcardKey {
+            switch_id,
+            flow: *tuple,
+        });
+        match self.cluster.query(&key) {
+            QueryOutcome::Answer(window) => PostcardBackend::decode_log(&window).ok(),
+            QueryOutcome::Empty => None,
+        }
+    }
+
     /// Query a postcard: "what did `switch_id` measure for this flow?"
     pub fn query_postcard(
         &mut self,
@@ -593,6 +720,9 @@ impl FatTreeSim {
             registry
                 .gauge("dta_sim_nic_writes")
                 .set(self.cluster.total_writes() as i64);
+            registry
+                .gauge("dta_sim_nic_atomics")
+                .set(self.cluster.total_atomics() as i64);
         }
 
         SimReport {
@@ -607,6 +737,7 @@ impl FatTreeSim {
                 .collect(),
             link: self.tx.stats(),
             nic_writes: self.cluster.total_writes(),
+            nic_atomics: self.cluster.total_atomics(),
             drop_histograms: (0..self.config.collectors)
                 .map(|id| self.cluster.drop_histogram(id))
                 .collect(),
@@ -880,6 +1011,130 @@ mod tests {
             report.nic_writes
         );
         assert_eq!(registry.counter_value("dta_switch_reports_total"), Some(2));
+    }
+
+    #[test]
+    fn append_primitive_end_to_end() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            primitive: PrimitiveSpec::Append { ring_capacity: 4 },
+            slots: 1 << 12,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(100).unwrap();
+        let report = sim.query_all(4);
+        assert_eq!(report.total(), 100);
+        assert_eq!(report.error, 0);
+        // 100 listkeys over 1024 rings of 4 entries. Ring sharing is the
+        // loss mode: tail registers are *switch-held*, so two sink
+        // switches appending to one ring keep independent tails and can
+        // clobber each other's positions (the reader detects this and
+        // reports the clobbered listkey as aged out, never wrong).
+        assert!(
+            report.success_rate() >= 0.9,
+            "success {}",
+            report.success_rate()
+        );
+        // One ring WRITE per flow (no copy fan-out), all tagged appends.
+        assert_eq!(report.nic_writes, 100);
+        assert_eq!(sim.cluster().total_appends(), 100);
+        assert_eq!(report.nic_atomics, 0);
+    }
+
+    #[test]
+    fn append_postcard_log_reads_history_oldest_first() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            primitive: PrimitiveSpec::Append { ring_capacity: 8 },
+            slots: 1 << 12,
+            ..SimConfig::default()
+        })
+        .unwrap();
+        let (tuple, route) = sim.run_flow_postcard_log().unwrap();
+        let (tuple2, _) = sim.run_flow_postcard_log().unwrap();
+        assert_ne!(tuple, tuple2, "flowgen produces distinct flows here");
+        for (hop, &switch_id) in route.clone().iter().enumerate() {
+            let log = sim
+                .query_postcard_log(switch_id, &tuple)
+                .unwrap_or_else(|| panic!("log from switch {switch_id} lost"));
+            assert_eq!(
+                log,
+                vec![FatTreeSim::synthetic_measurement(hop as u32, switch_id)]
+            );
+        }
+    }
+
+    #[test]
+    fn key_increment_totals_are_exact_without_loss() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            primitive: PrimitiveSpec::KeyIncrement,
+            slots: 1 << 12,
+            mode: ReportMode::PerPacket(5),
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(100).unwrap();
+        // Loss-free, every delta lands: no total can vanish or
+        // undercount. Counter words carry no key checksum, so a key
+        // whose copy slots are shared with another flow reads a *merged*
+        // (inflated) total — that is Key-Increment's intrinsic collision
+        // mode, bounded here, and exactness holds for everyone else.
+        let truths = sim.truths.clone();
+        let mut merged = 0u64;
+        for (tuple, truth) in &truths {
+            let expected = u64::from_be_bytes(truth.as_slice().try_into().unwrap());
+            match sim.query_flow(tuple) {
+                QueryOutcome::Empty => panic!("loss-free increments cannot vanish"),
+                QueryOutcome::Answer(bytes) => {
+                    let total = u64::from_be_bytes(bytes.as_slice().try_into().unwrap());
+                    assert!(
+                        total >= expected,
+                        "loss-free total undercounts: {total} < {expected}"
+                    );
+                    if total > expected {
+                        merged += 1;
+                    }
+                }
+            }
+        }
+        assert!(merged <= 5, "too many collision-merged counters: {merged}");
+        // 100 flows × 5 packets × N=2 copies, all as FETCH_ADDs.
+        assert_eq!(sim.cluster().total_atomics(), 1000);
+        assert_eq!(sim.cluster().total_writes(), 0);
+    }
+
+    #[test]
+    fn key_increment_undercounts_never_overcounts_under_loss() {
+        let mut sim = FatTreeSim::new(SimConfig {
+            primitive: PrimitiveSpec::KeyIncrement,
+            slots: 1 << 12,
+            fault: FaultModel::Bernoulli { loss: 0.25 },
+            mode: ReportMode::PerPacket(4),
+            ..SimConfig::default()
+        })
+        .unwrap();
+        sim.run_flows(200).unwrap();
+        assert!(sim.tx.stats().dropped > 0, "loss model must bite");
+        // The min-over-copies answer is conservative: totals may lag the
+        // truth (lost FETCH_ADDs) but can never exceed it.
+        let truths = sim.truths.clone();
+        let mut lagging = 0u64;
+        for (tuple, truth) in &truths {
+            let expected = u64::from_be_bytes(truth.as_slice().try_into().unwrap());
+            match sim.query_flow(tuple) {
+                QueryOutcome::Empty => lagging += 1,
+                QueryOutcome::Answer(bytes) => {
+                    let total = u64::from_be_bytes(bytes.as_slice().try_into().unwrap());
+                    assert!(
+                        total <= expected,
+                        "overcount: {total} > {expected} for {tuple:?}"
+                    );
+                    if total < expected {
+                        lagging += 1;
+                    }
+                }
+            }
+        }
+        assert!(lagging > 0, "25% loss must leave some totals lagging");
     }
 
     #[test]

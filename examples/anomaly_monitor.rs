@@ -56,6 +56,7 @@ fn main() {
         },
         collectors: 2,
         udp_src_port: 49152,
+        primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
     };
     let mut switches: Vec<DartEgress> = (1..=3)
         .map(|id| {

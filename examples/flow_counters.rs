@@ -10,11 +10,25 @@
 //! flow triggers one FETCH_ADD onto the flow's counter word; the
 //! collector NIC executes the atomics and ACKs (RC transport), and the
 //! operator reads totals straight out of the counter region.
+//!
+//! Part 1 shows the raw mechanism (hand-built atomic frames against one
+//! NIC); part 2 the same workload through the Key-Increment translation
+//! primitive — the switch egress crafts redundant FETCH_ADDs, the
+//! cluster commits them, and the min-over-copies query answers with an
+//! explain trace.
 
-use direct_telemetry_access::core::hash::{AddressMapping, Mix64Mapping};
+use direct_telemetry_access::collector::CollectorCluster;
+use direct_telemetry_access::core::config::DartConfig;
+use direct_telemetry_access::core::hash::{AddressMapping, MappingKind, Mix64Mapping};
+use direct_telemetry_access::core::primitive::increment_encode;
+use direct_telemetry_access::core::query::QueryOutcome;
+use direct_telemetry_access::core::PrimitiveSpec;
 use direct_telemetry_access::rdma::mr::AccessFlags;
 use direct_telemetry_access::rdma::nic::{build_roce_frame, RxAction};
 use direct_telemetry_access::rdma::verbs::Device;
+use direct_telemetry_access::switch::control_plane::ControlPlane;
+use direct_telemetry_access::switch::egress::{DartEgress, EgressConfig};
+use direct_telemetry_access::switch::SwitchIdentity;
 use direct_telemetry_access::wire::roce::{AtomicEthRepr, BthRepr, Opcode, Psn, RoceRepr};
 use direct_telemetry_access::wire::{ethernet, ipv4};
 
@@ -22,6 +36,7 @@ const COUNTERS: u64 = 1 << 12; // 4096 64-bit counters
 const BASE_VA: u64 = 0x9000_0000;
 
 fn main() {
+    // ── Part 1: the raw mechanism ────────────────────────────────────
     // Collector: one counter region + one RC QP per reporting switch.
     let mut device = Device::open(
         ethernet::Address([0x02, 0xC0, 0, 0, 0, 1]),
@@ -119,4 +134,88 @@ fn main() {
         counters.responses,
         counters.dropped()
     );
+
+    // ── Part 2: the Key-Increment primitive ──────────────────────────
+    // The same counters through the full pipeline: the builder forces
+    // 8-byte counter words, the egress crafts one RC FETCH_ADD per
+    // redundant copy, and the query takes the minimum over copies — a
+    // hash collision can only inflate one copy, so the minimum stays
+    // the conservative truth.
+    let config = DartConfig::builder()
+        .slots(COUNTERS)
+        .copies(2)
+        .collectors(1)
+        .mapping(MappingKind::Crc)
+        .primitive(PrimitiveSpec::KeyIncrement)
+        .build()
+        .unwrap();
+    let layout = config.layout;
+    let copies = config.copies;
+    let mut cluster = CollectorCluster::new(config).unwrap();
+    let directory = cluster.directory_for_switch();
+    let mut egress = DartEgress::new(
+        SwitchIdentity::derived(1),
+        EgressConfig {
+            copies,
+            slots: COUNTERS,
+            layout,
+            collectors: 1,
+            udp_src_port: 49152,
+            primitive: PrimitiveSpec::KeyIncrement,
+        },
+        0x5EED,
+    )
+    .unwrap();
+    ControlPlane::new()
+        .install_directory(&mut egress, &directory)
+        .unwrap();
+
+    println!("\n── Key-Increment primitive (switch egress → cluster) ──");
+    for &(key, packets, bytes) in traffic {
+        for _ in 0..packets {
+            for report in egress.craft(key, &increment_encode(bytes)).unwrap() {
+                cluster.deliver(&report.frame);
+            }
+        }
+    }
+
+    for &(key, packets, bytes) in traffic {
+        match cluster.query(key) {
+            QueryOutcome::Answer(word) => {
+                let total = u64::from_be_bytes(word.try_into().unwrap());
+                println!(
+                    "  {:<12} {:>10} B (expected {:>10})",
+                    String::from_utf8_lossy(key),
+                    total,
+                    packets * bytes
+                );
+                assert_eq!(total, packets * bytes);
+            }
+            QueryOutcome::Empty => panic!("counter was just incremented"),
+        }
+    }
+
+    // The explain trace narrates the conservative read: both counter
+    // words probed, the minimum answered.
+    let explain = cluster.query_explain(traffic[0].0);
+    println!("\nexplain {:?}:", String::from_utf8_lossy(traffic[0].0));
+    println!(
+        "  routed to collector {} ({:?})",
+        explain.key_collector, explain.routing
+    );
+    let store = explain.candidates[0].explain.as_ref().unwrap();
+    for probe in &store.probes {
+        println!(
+            "  copy {} -> counter word {} (occupied: {})",
+            probe.copy, probe.slot, probe.occupied
+        );
+    }
+    println!("  decision: {} (minimum over copies)", store.reason.name());
+
+    let nic = cluster.collector(0).unwrap().nic_counters();
+    println!(
+        "\ncluster NIC: {} fetch_adds, {} writes — counters live in collector DRAM only",
+        nic.fetch_adds, nic.writes
+    );
+    assert_eq!(nic.writes, 0, "Key-Increment commits through atomics only");
 }

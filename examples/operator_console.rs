@@ -66,6 +66,7 @@ fn main() {
             },
             collectors: 2,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         0xC0,
     )

@@ -76,6 +76,7 @@ fn main() {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         0x5EED,
     )

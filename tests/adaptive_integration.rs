@@ -33,6 +33,7 @@ fn controller_tracks_load_from_nic_counters() {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         0xADA,
     )

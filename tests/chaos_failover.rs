@@ -7,25 +7,47 @@
 //! once the health monitor flips the liveness registers the failover
 //! hash must keep new telemetry flowing and queryable.
 
+use std::collections::HashMap;
+
 use direct_telemetry_access::collector::{CollectorCluster, CollectorHealth};
 use direct_telemetry_access::core::config::DartConfig;
 use direct_telemetry_access::core::hash::MappingKind;
 use direct_telemetry_access::core::query::QueryOutcome;
+use direct_telemetry_access::core::PrimitiveSpec;
 use direct_telemetry_access::rdma::link::FaultModel;
 use direct_telemetry_access::rdma::nic::DropReason;
 use direct_telemetry_access::switch::control_plane::ControlPlane;
 use direct_telemetry_access::switch::egress::{DartEgress, EgressConfig};
 use direct_telemetry_access::switch::SwitchIdentity;
 use direct_telemetry_access::topology::sim::{
-    CollectorFault, FatTreeSim, FaultKind, SimConfig, SimReport,
+    CollectorFault, FatTreeSim, FaultKind, ReportMode, SimConfig, SimReport,
 };
 use direct_telemetry_access::wire::dart::{ChecksumWidth, SlotLayout};
+use direct_telemetry_access::wire::FiveTuple;
 
 const CRASHED: u32 = 1;
 
-fn chaos_config(faults: Vec<CollectorFault>) -> SimConfig {
+/// The WRITE-based primitives share one failure contract: lost
+/// telemetry reads *empty*, never wrong. (Key-Increment's contract is
+/// conservative totals instead — covered by its own scenario below.)
+fn write_primitives() -> [PrimitiveSpec; 2] {
+    [
+        PrimitiveSpec::KeyWrite,
+        PrimitiveSpec::Append { ring_capacity: 4 },
+    ]
+}
+
+fn chaos_config(primitive: PrimitiveSpec, faults: Vec<CollectorFault>) -> SimConfig {
     SimConfig {
-        slots: 1 << 10,
+        primitive,
+        // Append gets a larger ring directory: rings have no copy
+        // fan-out, and cross-switch ring sharing (its intrinsic aliasing
+        // mode, pinned by the sim's own tests) would otherwise drown the
+        // failover signal this suite is after.
+        slots: match primitive {
+            PrimitiveSpec::Append { .. } => 1 << 12,
+            _ => 1 << 10,
+        },
         collectors: 4,
         fault: FaultModel::Bernoulli { loss: 0.1 },
         faults,
@@ -34,8 +56,33 @@ fn chaos_config(faults: Vec<CollectorFault>) -> SimConfig {
     }
 }
 
-fn run(faults: Vec<CollectorFault>, flows: u64) -> (FatTreeSim, SimReport) {
-    let mut sim = FatTreeSim::new(chaos_config(faults)).unwrap();
+/// Frames emitted per finished flow: Key-Write reports every copy,
+/// Append writes one ring entry. Fault onsets are scheduled in *flow*
+/// time (`flows × frames_per_flow`) so every primitive takes the hit at
+/// the same point of its run.
+fn frames_per_flow(primitive: PrimitiveSpec) -> u64 {
+    match primitive {
+        PrimitiveSpec::KeyWrite => 2,
+        _ => 1,
+    }
+}
+
+/// Without copy fan-out a single lost WRITE loses the flow, so Append
+/// rides the raw link loss while Key-Write's redundancy masks it. The
+/// success floors scale accordingly.
+fn success_floor(primitive: PrimitiveSpec, key_write_floor: f64) -> f64 {
+    match primitive {
+        PrimitiveSpec::KeyWrite => key_write_floor,
+        _ => key_write_floor - 0.15,
+    }
+}
+
+fn run(
+    primitive: PrimitiveSpec,
+    faults: Vec<CollectorFault>,
+    flows: u64,
+) -> (FatTreeSim, SimReport) {
+    let mut sim = FatTreeSim::new(chaos_config(primitive, faults)).unwrap();
     sim.run_flows(flows).unwrap();
     let report = sim.query_all(4);
     (sim, report)
@@ -43,143 +90,241 @@ fn run(faults: Vec<CollectorFault>, flows: u64) -> (FatTreeSim, SimReport) {
 
 /// The acceptance scenario: 4 collectors under 10% link loss, one
 /// crashed mid-run. Queries must keep ≥ 90% of the healthy-run success
-/// rate, with exactly zero wrong answers throughout.
+/// rate, with exactly zero wrong answers throughout — for both
+/// WRITE-based primitives through the same failover path.
 #[test]
 fn crash_under_loss_meets_the_failover_bar() {
-    let (_, healthy) = run(Vec::new(), 1000);
-    assert_eq!(healthy.error, 0);
-    assert_eq!(healthy.unreachable, 0);
+    for primitive in write_primitives() {
+        let (_, healthy) = run(primitive, Vec::new(), 1000);
+        assert_eq!(healthy.error, 0, "{primitive:?}");
+        assert_eq!(healthy.unreachable, 0, "{primitive:?}");
 
-    let (sim, chaos) = run(
-        vec![CollectorFault {
-            index: CRASHED,
-            after_frames: 300,
-            kind: FaultKind::Crash,
-            recover_after: None,
-        }],
-        1000,
-    );
-    // The monitor flipped the liveness registers.
+        let (sim, chaos) = run(
+            primitive,
+            vec![CollectorFault {
+                index: CRASHED,
+                after_frames: 150 * frames_per_flow(primitive),
+                kind: FaultKind::Crash,
+                recover_after: None,
+            }],
+            1000,
+        );
+        // The monitor flipped the liveness registers.
+        assert!(!sim.liveness_mask().is_live(CRASHED), "crash undetected");
+        // Zero wrong answers, ever. Lost telemetry reads empty instead.
+        assert_eq!(chaos.error, 0, "{primitive:?}");
+        // At query time failover covers every key: the dead collector's
+        // share is answerable from its survivors, so nothing is unreachable.
+        assert_eq!(chaos.unreachable, 0, "{primitive:?}");
+        // Frames crafted between the crash and its detection died at the
+        // crashed host, and the histogram says exactly why.
+        assert!(chaos.fault_drops[CRASHED as usize].crashed > 0);
+        assert!(chaos.drop_histograms[CRASHED as usize]
+            .iter()
+            .any(|&(r, n)| r == DropReason::CollectorDown && n > 0));
+        // The bar: ≥ 90% of the healthy-run success rate.
+        assert!(
+            chaos.success_rate() >= 0.9 * healthy.success_rate(),
+            "{primitive:?}: chaos {} vs healthy {}",
+            chaos.success_rate(),
+            healthy.success_rate()
+        );
+    }
+}
+
+/// Key-Increment under the same crash-plus-loss chaos. Its contract is
+/// different in kind: totals may *lag* the truth (lost FETCH_ADDs,
+/// deltas wiped with the crashed host) but the min-over-copies answer
+/// must stay conservative. The one exception is intrinsic to the
+/// primitive: counter words carry no key checksum, so two keys sharing
+/// a copy word read a merged (inflated) total — bounded here, and
+/// everything else must never overcount.
+#[test]
+fn crash_under_loss_keeps_increments_conservative() {
+    let mut sim = FatTreeSim::new(SimConfig {
+        mode: ReportMode::PerPacket(3),
+        slots: 1 << 12,
+        ..chaos_config(
+            PrimitiveSpec::KeyIncrement,
+            vec![CollectorFault {
+                index: CRASHED,
+                after_frames: 300,
+                kind: FaultKind::Crash,
+                recover_after: None,
+            }],
+        )
+    })
+    .unwrap();
+
+    // Track the ground-truth totals ourselves: each flow contributes
+    // three FETCH_ADD deltas of 1 to its tuple's counter.
+    let mut expected: HashMap<FiveTuple, u64> = HashMap::new();
+    for _ in 0..400 {
+        let tuple = sim.run_flow().unwrap();
+        *expected.entry(tuple).or_insert(0) += 3;
+    }
     assert!(!sim.liveness_mask().is_live(CRASHED), "crash undetected");
-    // Zero wrong answers, ever. Lost telemetry reads empty instead.
-    assert_eq!(chaos.error, 0);
-    // At query time failover covers every key: the dead collector's
-    // share is answerable from its survivors, so nothing is unreachable.
-    assert_eq!(chaos.unreachable, 0);
-    // Frames crafted between the crash and its detection died at the
-    // crashed host, and the histogram says exactly why.
-    assert!(chaos.fault_drops[CRASHED as usize].crashed > 0);
-    assert!(chaos.drop_histograms[CRASHED as usize]
+
+    let mut exact = 0u64;
+    let mut lagging = 0u64;
+    let mut merged = 0u64;
+    for (tuple, &truth) in &expected {
+        match sim.query_flow(tuple) {
+            QueryOutcome::Empty => lagging += 1,
+            QueryOutcome::Answer(bytes) => {
+                let total = u64::from_be_bytes(bytes.as_slice().try_into().unwrap());
+                if total > truth {
+                    merged += 1;
+                } else if total < truth {
+                    lagging += 1;
+                } else {
+                    exact += 1;
+                }
+            }
+        }
+    }
+    // Loss and the crash must leave visible lag — and nothing else.
+    assert!(
+        lagging > 0,
+        "10% loss plus a crash must leave totals lagging"
+    );
+    assert!(
+        merged <= 10,
+        "collision merging out of band: {merged} of {} tuples",
+        expected.len()
+    );
+    // Atomics ride RC, and RC is strict: the first PSN lost on a
+    // switch→collector QP NAK-gates everything the switch sends it
+    // afterwards. Under sustained 10% loss most QPs stop accepting
+    // early, so lag dominates — but whatever *is* answered stays exact,
+    // and some totals land fully before their QP dies.
+    assert!(exact >= 10, "exact {exact} of {}", expected.len());
+    // The commit path was atomics-only, with crash damage on record.
+    let report = sim.query_all(4);
+    assert_eq!(report.nic_writes, 0);
+    assert!(report.nic_atomics > 0);
+    assert!(report.fault_drops[CRASHED as usize].crashed > 0);
+    assert!(report.drop_histograms[CRASHED as usize]
         .iter()
         .any(|&(r, n)| r == DropReason::CollectorDown && n > 0));
-    // The bar: ≥ 90% of the healthy-run success rate.
-    assert!(
-        chaos.success_rate() >= 0.9 * healthy.success_rate(),
-        "chaos {} vs healthy {}",
-        chaos.success_rate(),
-        healthy.success_rate()
-    );
 }
 
 /// During the detection window a crashed collector's keys surface as
 /// *unreachable* (a typed error) — never as a silent wrong answer.
+/// This holds for every primitive: reachability is decided before the
+/// slot semantics ever run.
 #[test]
 fn detection_window_errors_are_typed_not_wrong() {
-    let mut sim = FatTreeSim::new(chaos_config(Vec::new())).unwrap();
-    let mut tuples = Vec::new();
-    for _ in 0..200 {
-        tuples.push(sim.run_flow().unwrap());
-    }
-    // Crash outside the schedule so the monitor has not noticed yet.
-    sim.cluster_mut()
-        .set_health(CRASHED, CollectorHealth::Crashed);
-    let mut unreachable = 0;
-    for tuple in &tuples {
-        match sim.try_query_flow(tuple) {
-            Err(_) => unreachable += 1,
-            Ok(QueryOutcome::Answer(_)) | Ok(QueryOutcome::Empty) => {}
+    for primitive in [
+        PrimitiveSpec::KeyWrite,
+        PrimitiveSpec::Append { ring_capacity: 4 },
+        PrimitiveSpec::KeyIncrement,
+    ] {
+        let mut sim = FatTreeSim::new(chaos_config(primitive, Vec::new())).unwrap();
+        let mut tuples = Vec::new();
+        for _ in 0..200 {
+            tuples.push(sim.run_flow().unwrap());
         }
+        // Crash outside the schedule so the monitor has not noticed yet.
+        sim.cluster_mut()
+            .set_health(CRASHED, CollectorHealth::Crashed);
+        let mut unreachable = 0;
+        for tuple in &tuples {
+            match sim.try_query_flow(tuple) {
+                Err(_) => unreachable += 1,
+                Ok(QueryOutcome::Answer(_)) | Ok(QueryOutcome::Empty) => {}
+            }
+        }
+        // Roughly a quarter of the keys live on the crashed collector.
+        assert!(
+            (20..=100).contains(&unreachable),
+            "{primitive:?}: unreachable count {unreachable} out of band"
+        );
     }
-    // Roughly a quarter of the keys live on the crashed collector.
-    assert!(
-        (20..=100).contains(&unreachable),
-        "unreachable count {unreachable} out of band"
-    );
 }
 
 /// Blackhole: the NIC eats frames but the host answers queries, so
 /// pre-fault telemetry stays readable the whole time.
 #[test]
 fn blackholed_collector_keeps_serving_old_telemetry() {
-    let (sim, report) = run(
-        vec![CollectorFault {
-            index: CRASHED,
-            after_frames: 600,
-            kind: FaultKind::Blackhole,
-            recover_after: None,
-        }],
-        600,
-    );
-    assert!(
-        !sim.liveness_mask().is_live(CRASHED),
-        "blackhole undetected"
-    );
-    assert_eq!(report.error, 0);
-    // The host is reachable: nothing is unreachable, and frames died
-    // with the blackhole reason.
-    assert_eq!(report.unreachable, 0);
-    assert!(report.fault_drops[CRASHED as usize].blackholed > 0);
-    assert!(report.drop_histograms[CRASHED as usize]
-        .iter()
-        .any(|&(r, n)| r == DropReason::Blackholed && n > 0));
+    for primitive in write_primitives() {
+        let (sim, report) = run(
+            primitive,
+            vec![CollectorFault {
+                index: CRASHED,
+                after_frames: 300 * frames_per_flow(primitive),
+                kind: FaultKind::Blackhole,
+                recover_after: None,
+            }],
+            600,
+        );
+        assert!(
+            !sim.liveness_mask().is_live(CRASHED),
+            "blackhole undetected"
+        );
+        assert_eq!(report.error, 0, "{primitive:?}");
+        // The host is reachable: nothing is unreachable, and frames died
+        // with the blackhole reason.
+        assert_eq!(report.unreachable, 0, "{primitive:?}");
+        assert!(report.fault_drops[CRASHED as usize].blackholed > 0);
+        assert!(report.drop_histograms[CRASHED as usize]
+            .iter()
+            .any(|&(r, n)| r == DropReason::Blackholed && n > 0));
+    }
 }
 
 /// Degrade: a lossy last hop loses some telemetry but redundancy keeps
 /// success high and answers correct.
 #[test]
 fn degraded_link_loses_frames_not_correctness() {
-    let (_, report) = run(
-        vec![CollectorFault {
-            index: CRASHED,
-            after_frames: 100,
-            kind: FaultKind::Degrade { loss: 0.5 },
-            recover_after: None,
-        }],
-        800,
-    );
-    assert_eq!(report.error, 0);
-    assert!(report.fault_drops[CRASHED as usize].degraded > 0);
-    assert!(
-        report.success_rate() > 0.8,
-        "success {}",
-        report.success_rate()
-    );
+    for primitive in write_primitives() {
+        let (_, report) = run(
+            primitive,
+            vec![CollectorFault {
+                index: CRASHED,
+                after_frames: 50 * frames_per_flow(primitive),
+                kind: FaultKind::Degrade { loss: 0.5 },
+                recover_after: None,
+            }],
+            800,
+        );
+        assert_eq!(report.error, 0, "{primitive:?}");
+        assert!(report.fault_drops[CRASHED as usize].degraded > 0);
+        assert!(
+            report.success_rate() > success_floor(primitive, 0.8),
+            "{primitive:?}: success {}",
+            report.success_rate()
+        );
+    }
 }
 
 /// Crash, recover with wiped memory, keep running: the recovered
 /// collector is re-detected as live and the run ends healthy.
 #[test]
 fn crash_recovery_cycle_ends_healthy() {
-    let (sim, report) = run(
-        vec![CollectorFault {
-            index: CRASHED,
-            after_frames: 300,
-            kind: FaultKind::Crash,
-            recover_after: Some(400),
-        }],
-        1000,
-    );
-    assert!(
-        sim.liveness_mask().is_live(CRASHED),
-        "recovery went undetected"
-    );
-    assert_eq!(sim.cluster().health(CRASHED), CollectorHealth::Healthy);
-    assert_eq!(report.error, 0);
-    assert!(
-        report.success_rate() > 0.7,
-        "success {}",
-        report.success_rate()
-    );
+    for primitive in write_primitives() {
+        let (sim, report) = run(
+            primitive,
+            vec![CollectorFault {
+                index: CRASHED,
+                after_frames: 150 * frames_per_flow(primitive),
+                kind: FaultKind::Crash,
+                recover_after: Some(200 * frames_per_flow(primitive)),
+            }],
+            1000,
+        );
+        assert!(
+            sim.liveness_mask().is_live(CRASHED),
+            "recovery went undetected"
+        );
+        assert_eq!(sim.cluster().health(CRASHED), CollectorHealth::Healthy);
+        assert_eq!(report.error, 0, "{primitive:?}");
+        assert!(
+            report.success_rate() > success_floor(primitive, 0.7),
+            "{primitive:?}: success {}",
+            report.success_rate()
+        );
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -212,6 +357,7 @@ fn switch_and_cluster() -> (DartEgress, CollectorCluster) {
             },
             collectors: 2,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         7,
     )

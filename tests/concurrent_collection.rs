@@ -59,6 +59,7 @@ fn parallel_switches_one_collector() {
                     },
                     collectors: 1,
                     udp_src_port: 49152,
+                    primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
                 },
                 u64::from(switch) ^ 0xC0,
             )

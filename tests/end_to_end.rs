@@ -149,6 +149,7 @@ fn store_over_rdma_memory_equals_local_store() {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         0x99,
     )

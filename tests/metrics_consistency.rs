@@ -7,25 +7,44 @@ use direct_telemetry_access::collector::CollectorCluster;
 use direct_telemetry_access::core::config::DartConfig;
 use direct_telemetry_access::core::hash::{AddressMapping, CrcMapping, MappingKind};
 use direct_telemetry_access::core::query::{classify, QueryClass, QueryOutcome, ReturnPolicy};
+use direct_telemetry_access::core::PrimitiveSpec;
 use direct_telemetry_access::obs::{EventKind, Obs};
 use direct_telemetry_access::topology::sim::{FatTreeSim, SimConfig};
 use direct_telemetry_access::wire::{ethernet, ipv4};
 
-#[test]
-fn write_counters_agree_across_layers() {
-    // Overload a small store so both fresh writes and overwrites occur.
-    let obs = Obs::with_capacity(1 << 16);
+/// The three translation primitives every sim-level identity is checked
+/// under. One shared code path (egress → link → NIC → store) means one
+/// shared metric story.
+fn primitives() -> [PrimitiveSpec; 3] {
+    [
+        PrimitiveSpec::KeyWrite,
+        PrimitiveSpec::Append { ring_capacity: 4 },
+        PrimitiveSpec::KeyIncrement,
+    ]
+}
+
+/// An overloaded small-store sim (256 slots, 512 flows) with the ring
+/// attached, for the cross-layer counter identities.
+fn overloaded_sim(primitive: PrimitiveSpec, obs: Obs) -> FatTreeSim {
     let mut sim = FatTreeSim::new_with_obs(
         SimConfig {
+            primitive,
             slots: 256,
             seed: 0xC0,
             ..SimConfig::default()
         },
-        obs.clone(),
+        obs,
     )
     .unwrap();
     sim.run_flows(512).unwrap();
+    sim
+}
 
+/// The WRITE-path identity, shared by Key-Write and Append (an Append
+/// commit *is* an RDMA WRITE, tagged by the region's commit kind): the
+/// registry's fresh/overwritten split, the NIC's own counters, and the
+/// event ring must all agree on the same write total.
+fn assert_write_identities(sim: &FatTreeSim, obs: &Obs) {
     let registry = obs.registry();
     let fresh = registry
         .counter_value("dta_nic_writes_fresh_total")
@@ -56,35 +75,88 @@ fn write_counters_agree_across_layers() {
 }
 
 #[test]
-fn query_outcome_counters_sum_to_total() {
-    let obs = Obs::new();
-    let mut sim = FatTreeSim::new_with_obs(
-        SimConfig {
-            slots: 256,
-            collectors: 2,
-            seed: 0xC1,
-            ..SimConfig::default()
-        },
-        obs.clone(),
-    )
-    .unwrap();
-    sim.run_flows(400).unwrap();
-    let report = sim.query_all(4);
-    assert_eq!(
-        report.correct + report.empty + report.error + report.unreachable,
-        report.total()
-    );
-    // The registry's four outcome counters partition the same total.
+fn write_counters_agree_across_layers() {
+    let obs = Obs::with_capacity(1 << 16);
+    let sim = overloaded_sim(PrimitiveSpec::KeyWrite, obs.clone());
+    assert_write_identities(&sim, &obs);
+    // A pure Key-Write run commits nothing through the other kinds.
+    assert_eq!(sim.cluster().total_appends(), 0);
+    assert_eq!(sim.cluster().total_atomics(), 0);
+}
+
+#[test]
+fn append_counters_agree_across_layers() {
+    let obs = Obs::with_capacity(1 << 16);
+    let sim = overloaded_sim(PrimitiveSpec::Append { ring_capacity: 4 }, obs.clone());
+    assert_write_identities(&sim, &obs);
+    // Every ring commit is an append — counted as a subset of writes —
+    // and none of them is an atomic.
+    assert_eq!(sim.cluster().total_appends(), sim.cluster().total_writes());
+    assert_eq!(sim.cluster().total_atomics(), 0);
+}
+
+#[test]
+fn increment_counters_agree_across_layers() {
+    let obs = Obs::with_capacity(1 << 16);
+    let sim = overloaded_sim(PrimitiveSpec::KeyIncrement, obs.clone());
+
+    // Key-Increment commits through FETCH_ADD only: no WRITEs anywhere.
+    assert_eq!(sim.cluster().total_writes(), 0);
+    assert_eq!(sim.cluster().total_appends(), 0);
+    assert!(obs.ring().events_named("slot_write").is_empty());
+
+    // The atomic identity: registry counter == NIC fetch-add total ==
+    // counter-commit events, one per executed FETCH_ADD.
+    let atomics = sim.cluster().total_atomics();
+    assert!(atomics > 0, "the run must commit increments");
     let registry = obs.registry();
-    let folded: u64 = ["correct", "empty", "error", "unreachable"]
-        .iter()
-        .map(|k| {
-            registry
-                .counter_value(&format!("dta_sim_queries_{k}_total"))
-                .unwrap()
-        })
-        .sum();
-    assert_eq!(folded, report.total());
+    assert_eq!(
+        registry.counter_value("dta_nic_atomics_total"),
+        Some(atomics)
+    );
+    let commits = obs.ring().events_named("counter_commit");
+    assert_eq!(commits.len() as u64, atomics);
+    assert!(
+        commits
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CounterCommit { original, .. } if original > 0)),
+        "an overloaded counter store must see non-first increments"
+    );
+}
+
+#[test]
+fn query_outcome_counters_sum_to_total() {
+    for primitive in primitives() {
+        let obs = Obs::new();
+        let mut sim = FatTreeSim::new_with_obs(
+            SimConfig {
+                primitive,
+                slots: 256,
+                collectors: 2,
+                seed: 0xC1,
+                ..SimConfig::default()
+            },
+            obs.clone(),
+        )
+        .unwrap();
+        sim.run_flows(400).unwrap();
+        let report = sim.query_all(4);
+        assert_eq!(
+            report.correct + report.empty + report.error + report.unreachable,
+            report.total()
+        );
+        // The registry's four outcome counters partition the same total.
+        let registry = obs.registry();
+        let folded: u64 = ["correct", "empty", "error", "unreachable"]
+            .iter()
+            .map(|k| {
+                registry
+                    .counter_value(&format!("dta_sim_queries_{k}_total"))
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(folded, report.total(), "partition broken for {primitive:?}");
+    }
 }
 
 fn single_collector_config() -> DartConfig {

@@ -61,6 +61,7 @@ fn setup() -> (DartEgress, NativeNic, OwnedQueryEngine) {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         0x7,
     )

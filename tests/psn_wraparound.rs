@@ -62,6 +62,7 @@ fn rig(start_psn: Psn) -> (DartEgress, CollectorCluster, u32) {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         7,
     )

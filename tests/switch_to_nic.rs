@@ -33,6 +33,7 @@ fn setup() -> (DartEgress, DartCollector) {
             },
             collectors: 1,
             udp_src_port: 49152,
+            primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
         },
         0xBEE,
     )

@@ -57,6 +57,7 @@ fn postcards_ride_the_full_packet_path() {
                 },
                 collectors: 1,
                 udp_src_port: 49152,
+                primitive: direct_telemetry_access::core::PrimitiveSpec::KeyWrite,
             },
             u64::from(switch_id),
         )
