@@ -56,6 +56,7 @@ fn render(target: &str, scale: Scale, seed: u64, out_dir: Option<&PathBuf>) -> O
             let bench = e2e::run_bench(slots, seed);
             out.push_str(&e2e::e2e_table(&bench.points));
             out.push_str(&e2e::primitive_table(&bench.matrix));
+            out.push_str(&e2e::recovery_table(&bench.recovery));
             if let Some(dir) = out_dir {
                 let path = dir.join("BENCH_e2e.json");
                 if let Err(e) = fs::write(&path, e2e::bench_jsonl(&bench)) {

@@ -12,7 +12,7 @@
 use dta_core::PrimitiveSpec;
 use dta_obs::{MetricValue, Obs};
 use dta_rdma::link::FaultModel;
-use dta_topology::sim::{FatTreeSim, ReportMode, SimConfig, SimReport};
+use dta_topology::sim::{CollectorFault, FatTreeSim, FaultKind, ReportMode, SimConfig, SimReport};
 
 use crate::report::{pct, table};
 
@@ -136,6 +136,115 @@ pub fn run_primitive_matrix(slots: u64, seed: u64, obs: &Obs) -> Vec<PrimitivePo
     .collect()
 }
 
+/// The recovery scenario row: one collector crashes mid-run, the
+/// fabric keeps writing through the failover hash, the collector
+/// recovers with wiped memory, and the control plane's re-replication
+/// sweep carries the outage-era telemetry home — then everything is
+/// queried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPoint {
+    /// Failover slots the sweep wrote back to the recovered primary.
+    pub slots_rereplicated: u64,
+    /// Rate-limited sweep batches issued.
+    pub sweep_batches: u64,
+    /// Keys a completed sweep restored (failover copies tombstoned).
+    pub keys_restored: u64,
+    /// Empty returns across the post-sweep query pass (pre-crash keys
+    /// wiped with the host — expected loss, bounded but nonzero).
+    pub post_sweep_empty: u64,
+    /// Wrong answers across the post-sweep query pass (must be zero).
+    pub post_sweep_errors: u64,
+    /// Total keys queried post-sweep.
+    pub queries: u64,
+    /// Post-sweep query success rate.
+    pub observed: f64,
+}
+
+/// Run the recovery scenario: 4 collectors, collector 1 crashes a
+/// quarter into the run and recovers at the halfway mark, leaving the
+/// back half for detection, the sweep, and fresh traffic. Deterministic
+/// under a fixed seed; registers one `bench_e2e_recovery_*` counter per
+/// column so `repro --check` pins the sweep's behavior too.
+pub fn run_recovery_scenario(slots: u64, seed: u64, obs: &Obs) -> RecoveryPoint {
+    let flows = slots / 2;
+    // AllCopies Key-Write emits two frames per flow; fault onsets are
+    // scheduled in frame time.
+    let mut sim = FatTreeSim::new_with_obs(
+        SimConfig {
+            k: 4,
+            slots,
+            copies: 2,
+            collectors: 4,
+            fault: FaultModel::Perfect,
+            mode: ReportMode::AllCopies,
+            faults: vec![CollectorFault {
+                index: 1,
+                after_frames: flows / 2,
+                kind: FaultKind::Crash,
+                recover_after: Some(flows / 2),
+            }],
+            seed,
+            ..SimConfig::default()
+        },
+        obs.clone(),
+    )
+    .expect("valid sim config");
+    sim.run_flows(flows).expect("flows run");
+    let report = sim.query_all(10);
+    let stats = sim.cluster().rerepl_stats();
+    let registry = obs.registry();
+    registry
+        .counter("bench_e2e_recovery_slots_rereplicated_total")
+        .add(stats.slots_copied);
+    registry
+        .counter("bench_e2e_recovery_sweep_batches_total")
+        .add(stats.batches);
+    registry
+        .counter("bench_e2e_recovery_keys_restored_total")
+        .add(stats.keys_restored);
+    registry
+        .counter("bench_e2e_recovery_post_sweep_empty_total")
+        .add(report.empty);
+    registry
+        .counter("bench_e2e_recovery_post_sweep_errors_total")
+        .add(report.error);
+    registry
+        .counter("bench_e2e_recovery_queries_total")
+        .add(report.total());
+    RecoveryPoint {
+        slots_rereplicated: stats.slots_copied,
+        sweep_batches: stats.batches,
+        keys_restored: stats.keys_restored,
+        post_sweep_empty: report.empty,
+        post_sweep_errors: report.error,
+        queries: report.total(),
+        observed: report.success_rate(),
+    }
+}
+
+/// Render the recovery scenario.
+pub fn recovery_table(point: &RecoveryPoint) -> String {
+    table(
+        "Crash → recover → re-replication sweep (collector 1, mid-run)",
+        &[
+            "slots re-replicated",
+            "sweep batches",
+            "keys restored",
+            "post-sweep empty",
+            "post-sweep errors",
+            "observed",
+        ],
+        &[vec![
+            point.slots_rereplicated.to_string(),
+            point.sweep_batches.to_string(),
+            point.keys_restored.to_string(),
+            point.post_sweep_empty.to_string(),
+            point.post_sweep_errors.to_string(),
+            pct(point.observed),
+        ]],
+    )
+}
+
 /// An instrumented sweep: the sweep points plus wall-clock throughput
 /// and the accumulated observability registry, ready for
 /// `BENCH_e2e.json`.
@@ -145,6 +254,8 @@ pub struct E2eBench {
     pub points: Vec<E2ePoint>,
     /// The per-primitive matrix rows.
     pub matrix: Vec<PrimitivePoint>,
+    /// The recovery scenario row.
+    pub recovery: RecoveryPoint,
     /// Total flows simulated across the sweep.
     pub flows: u64,
     /// Wall-clock duration of the sweep in seconds.
@@ -163,12 +274,14 @@ pub fn run_bench(slots: u64, seed: u64) -> E2eBench {
         .map(|&alpha| run_e2e_with_obs(alpha, slots, seed, obs.clone()))
         .collect();
     let matrix = run_primitive_matrix(slots, seed, &obs);
+    let recovery = run_recovery_scenario(slots, seed, &obs);
     let elapsed_secs = start.elapsed().as_secs_f64();
     let flows: u64 = [0.25f64, 0.5, 1.0, 2.0]
         .iter()
         .map(|&alpha| (alpha * slots as f64).round() as u64)
         .sum::<u64>()
-        + matrix.len() as u64 * (slots / 2);
+        + matrix.len() as u64 * (slots / 2)
+        + slots / 2;
     let registry = obs.registry();
     registry.counter("bench_e2e_flows_total").add(flows);
     registry
@@ -182,6 +295,7 @@ pub fn run_bench(slots: u64, seed: u64) -> E2eBench {
     E2eBench {
         points,
         matrix,
+        recovery,
         flows,
         elapsed_secs,
         obs,
@@ -327,6 +441,38 @@ mod tests {
         }
         let rendered = primitive_table(&matrix);
         assert!(rendered.contains("key_increment"));
+    }
+
+    #[test]
+    fn recovery_scenario_sweeps_and_stays_correct() {
+        let obs = Obs::new();
+        let point = run_recovery_scenario(1 << 9, 3, &obs);
+        // The sweep actually ran and carried outage-era keys home…
+        assert!(point.slots_rereplicated > 0, "sweep never wrote back");
+        assert!(point.sweep_batches > 0);
+        assert!(point.keys_restored > 0);
+        // …the crash is visible as bounded empty loss (wiped pre-crash
+        // keys), never as a wrong answer…
+        assert_eq!(point.post_sweep_errors, 0, "recovery produced errors");
+        assert!(point.observed > 0.5, "recovery run unusably lossy");
+        // …and the scenario pinned its columns as counters.
+        let registry = obs.registry();
+        assert_eq!(
+            registry
+                .counter_value("bench_e2e_recovery_slots_rereplicated_total")
+                .unwrap(),
+            point.slots_rereplicated
+        );
+        assert_eq!(
+            registry
+                .counter_value("bench_e2e_recovery_post_sweep_errors_total")
+                .unwrap(),
+            0
+        );
+        assert!(recovery_table(&point).contains("slots re-replicated"));
+        // Determinism: the whole scenario reproduces under its seed.
+        let rerun = run_recovery_scenario(1 << 9, 3, &Obs::new());
+        assert_eq!(point, rerun);
     }
 
     #[test]

@@ -13,14 +13,20 @@
 //! the same liveness-masked failover hash the switches use so a dead
 //! collector's keys remain answerable from its survivor.
 
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
 use dta_core::config::DartConfig;
-use dta_core::hash::{failover_collector, AddressMapping, FailoverTarget, LivenessMask};
-use dta_core::query::{QueryOutcome, ReturnPolicy};
+use dta_core::hash::{
+    failover_collector, AddressMapping, FailoverRecord, FailoverTarget, LivenessMask,
+};
+use dta_core::primitive::{append_encode_entry, append_newest_seq, append_scan, seq_newest};
+use dta_core::query::{DecisionReason, QueryOutcome, ReturnPolicy};
 use dta_core::store::StoreExplain;
-use dta_core::DartError;
+use dta_core::{DartError, PrimitiveSpec};
 use dta_obs::{Counter, EventKind, Obs};
 use dta_rdma::nic::{DropReason, RxAction, RxOutcome};
 use dta_rdma::verbs::RemoteEndpoint;
+use dta_wire::roce::{AtomicEthRepr, BthRepr, Opcode, Psn, RethRepr, RoceRepr};
 use dta_wire::{ethernet, ipv4};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -162,6 +168,149 @@ pub struct ClusterQueryExplain {
     pub outcome: Result<QueryOutcome, QueryError>,
 }
 
+/// Pacing and retry policy for one recovery re-replication sweep.
+///
+/// The sweep runs as a rate-limited background phase: `batch_size` keys
+/// are written back per batch, batches are `pacing` frames apart, and a
+/// key whose write-back frame dies in the fabric backs off
+/// `retry_backoff` frames before retrying, up to `max_retries` attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Keys write-back is attempted for per batch.
+    pub batch_size: usize,
+    /// Frames of simulated time between consecutive batches.
+    pub pacing: u64,
+    /// Failed write-back attempts per key before the sweep gives up on
+    /// it for this recovery (the record parks, untombstoned, and rides
+    /// the primary's next dead→alive flip).
+    pub max_retries: u32,
+    /// Frames a key waits after an aborted write-back before retrying.
+    pub retry_backoff: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> SweepConfig {
+        SweepConfig {
+            batch_size: 8,
+            pacing: 4,
+            max_retries: 3,
+            retry_backoff: 8,
+        }
+    }
+}
+
+/// Cumulative re-replication sweep statistics across the cluster's
+/// lifetime — the plain-struct twin of the `dta_rerepl_*` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RereplStats {
+    /// Failover slots examined at sweep sources (occupied or not).
+    pub slots_scanned: u64,
+    /// Slots successfully written back to a recovered primary (ACKed).
+    pub slots_copied: u64,
+    /// Stranded failover copies zeroed after their write-back landed.
+    pub slots_tombstoned: u64,
+    /// Write-back frames that died in the fabric (each retried attempt
+    /// that fails counts again).
+    pub writebacks_aborted: u64,
+    /// Sweep batches executed.
+    pub batches: u64,
+    /// Keys fully restored to their primary.
+    pub keys_restored: u64,
+    /// Keys given up after `max_retries` failed write-backs.
+    pub keys_abandoned: u64,
+}
+
+/// An append tail register value the control plane must push back into
+/// every switch after a sweep re-appended entries on a recovered
+/// primary: `(collector, ring)`'s register becomes `stored_seq`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingReconciliation {
+    /// The recovered primary collector.
+    pub collector: u32,
+    /// The append ring whose tail moved.
+    pub ring: u64,
+    /// The last stored sequence number after the sweep's re-appends.
+    pub stored_seq: u32,
+}
+
+/// One write-back operation of a sweep, ready to frame.
+#[derive(Debug, Clone)]
+enum UnitKind {
+    /// A UC RDMA WRITE of a verified slot/ring entry (Key-Write and
+    /// Append primitives).
+    Write { va: u64, payload: Vec<u8> },
+    /// An RC FETCH_ADD merging a failover counter delta (Key-Increment).
+    FetchAdd { va: u64, delta: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct SweepUnit {
+    kind: UnitKind,
+    /// Whether this unit's frame has been delivered and ACKed.
+    done: bool,
+}
+
+/// Per-key sweep state: the drained failover record plus the write-back
+/// units and tombstones derived from the failover copy (built lazily on
+/// the key's first batch so earlier batches' re-appends are visible).
+#[derive(Debug, Clone)]
+struct SweepKey {
+    record: FailoverRecord,
+    units: Option<Vec<SweepUnit>>,
+    /// Stranded failover copies to retire once the *whole sweep* lands:
+    /// `(target collector, va, len)` triples, zeroed host-side.
+    tombstones: Vec<(u32, u64, usize)>,
+    retries: u32,
+    /// Frame-clock instant before which this key must not retry.
+    not_before: u64,
+}
+
+/// One in-flight recovery sweep for a primary that returned from the
+/// dead.
+struct RereplSweep {
+    primary: u32,
+    /// The liveness mask of the outage era (primary dead) — the sweep
+    /// re-derives every record's failover target under *this* mask, the
+    /// exact function the egress used when it remapped the writes.
+    outage_mask: LivenessMask,
+    config: SweepConfig,
+    /// Dedicated queue pair on the recovered primary; the sweep is just
+    /// another RDMA writer, transport-checked like any switch.
+    qp: RemoteEndpoint,
+    /// Next PSN on the sweep QP. Advanced only when a frame is ACKed,
+    /// so a retry after a fabric drop reuses the same PSN (the QP never
+    /// saw the lost frame).
+    psn: u32,
+    pending: VecDeque<SweepKey>,
+    /// Keys fully written back, awaiting the end-of-sweep tombstone
+    /// phase. Tombstoning is deferred to completion so a mid-sweep
+    /// second crash can never have retired a failover copy.
+    restored: Vec<SweepKey>,
+    abandoned: u32,
+    next_batch_at: u64,
+    /// Switch-side append tail registers for the primary at schedule
+    /// time, `ring → last stored seq` (serial-max across switches).
+    switch_tails: BTreeMap<u64, u32>,
+    /// Running re-appended tail per ring, reported back as
+    /// [`RingReconciliation`]s at completion.
+    reconciliations: BTreeMap<u64, u32>,
+}
+
+/// Outcome of deriving a key's write-back units from its failover copy.
+enum UnitBuild {
+    Units {
+        units: Vec<SweepUnit>,
+        tombstones: Vec<(u32, u64, usize)>,
+        scanned: u64,
+    },
+    /// The record is not derivable under the outage mask (stale entry,
+    /// e.g. logged under a different mask) — drop it.
+    Stale,
+    /// The failover source itself is unreachable right now — park the
+    /// key for a later sweep.
+    TargetDown,
+}
+
 /// Cached metric handles for an attached observability registry.
 struct ClusterObs {
     obs: Obs,
@@ -174,6 +323,11 @@ struct ClusterObs {
     queries_empty: Counter,
     queries_unreachable: Counter,
     recoveries: Counter,
+    rerepl_scanned: Counter,
+    rerepl_copied: Counter,
+    rerepl_tombstoned: Counter,
+    rerepl_aborted: Counter,
+    rerepl_batches: Counter,
 }
 
 impl ClusterObs {
@@ -198,6 +352,17 @@ pub struct CollectorCluster {
     /// truth): between a fault and its detection the two disagree.
     liveness: LivenessMask,
     fault_rng: StdRng,
+    /// In-flight recovery sweeps, at most one per recovered primary.
+    sweeps: Vec<RereplSweep>,
+    /// Failover records waiting for a future sweep, per primary — keys
+    /// whose sweep was aborted by a second crash, or whose failover
+    /// source was unreachable. `BTreeMap` keeps draining deterministic.
+    parked: BTreeMap<u32, Vec<FailoverRecord>>,
+    /// Keys a completed sweep wrote back to their primary — drives the
+    /// [`DecisionReason::RereplicatedCopy`] explain rewrite. Voided per
+    /// collector when that collector crashes again.
+    restored_keys: HashSet<Vec<u8>>,
+    rerepl_stats: RereplStats,
     obs: Option<ClusterObs>,
 }
 
@@ -227,6 +392,10 @@ impl CollectorCluster {
             fault_drops: vec![FaultDrops::default(); total as usize],
             liveness: LivenessMask::all_live(total),
             fault_rng: StdRng::seed_from_u64(seed),
+            sweeps: Vec::new(),
+            parked: BTreeMap::new(),
+            restored_keys: HashSet::new(),
+            rerepl_stats: RereplStats::default(),
             obs: None,
         })
     }
@@ -251,6 +420,11 @@ impl CollectorCluster {
             queries_empty: registry.counter("dta_cluster_queries_empty_total"),
             queries_unreachable: registry.counter("dta_cluster_queries_unreachable_total"),
             recoveries: registry.counter("dta_cluster_recoveries_total"),
+            rerepl_scanned: registry.counter("dta_rerepl_slots_scanned_total"),
+            rerepl_copied: registry.counter("dta_rerepl_slots_copied_total"),
+            rerepl_tombstoned: registry.counter("dta_rerepl_slots_tombstoned_total"),
+            rerepl_aborted: registry.counter("dta_rerepl_slots_aborted_total"),
+            rerepl_batches: registry.counter("dta_rerepl_batches_total"),
         });
     }
 
@@ -316,6 +490,15 @@ impl CollectorCluster {
     /// Inject a fault (or restore plain `Healthy` without a wipe — use
     /// [`CollectorCluster::recover`] for a crash restart).
     pub fn set_health(&mut self, index: u32, health: CollectorHealth) {
+        if health == CollectorHealth::Crashed {
+            // A crash voids everything a past sweep restored to this
+            // collector: the restart wipe destroys those slots, so their
+            // explain rewrite must stop.
+            let mapping = self.mapping.as_ref();
+            let total = self.config.collectors;
+            self.restored_keys
+                .retain(|key| mapping.collector(key, total) != index);
+        }
         self.health[index as usize] = health;
     }
 
@@ -364,6 +547,23 @@ impl CollectorCluster {
             CollectorHealth::Healthy => true,
             CollectorHealth::Crashed | CollectorHealth::Blackholed => false,
             CollectorHealth::Degraded { loss } => self.fault_rng.gen::<f64>() >= loss,
+        }
+    }
+
+    /// Base synthetic probe round-trip time, in frame-clock units.
+    pub const PROBE_BASE_RTT: u64 = 12;
+
+    /// Answer one health probe and report its round-trip time — the
+    /// measurement the RTT-adaptive probe timer feeds on. `None` means
+    /// the probe went unanswered (loss and timeout are indistinguishable
+    /// to the prober). The synthetic RTT is deterministic: a fabric base
+    /// plus a small per-collector topology offset, so probe-timer
+    /// convergence is reproducible end to end.
+    pub fn probe_rtt(&mut self, index: u32) -> Option<u64> {
+        if self.probe(index) {
+            Some(Self::PROBE_BASE_RTT + u64::from(index % 4))
+        } else {
+            None
         }
     }
 
@@ -535,7 +735,8 @@ impl CollectorCluster {
         // all current writes and is authoritative; stale failover
         // locations are deliberately *not* consulted then, so a value
         // stranded there by a past outage can never shadow the primary
-        // (re-replicating that data back is future work — see ROADMAP).
+        // (the recovery sweep copies stranded data back and tombstones
+        // the failover slot — see [`CollectorCluster::schedule_rerepl`]).
         let order = match routing {
             QueryRouting::Primary(p) | QueryRouting::NoneLive(p) => vec![p],
             QueryRouting::Failover { primary, target } => vec![target, primary],
@@ -555,7 +756,18 @@ impl CollectorCluster {
                 continue;
             }
             any_reachable = true;
-            let explain = self.collectors[id as usize].query_explain_with_policy(key, policy);
+            let mut explain = self.collectors[id as usize].query_explain_with_policy(key, policy);
+            // The answering slots of a swept key are re-replicated
+            // copies, not the original switch writes — surface that in
+            // the trace (and in the decision event) so operators can see
+            // an answer survived an outage. Only the key's own primary
+            // holds re-replicated data: the sweep tombstoned the
+            // failover copies when it completed.
+            if id == key_collector && self.restored_keys.contains(key) {
+                if let DecisionReason::Answered { votes } = explain.reason {
+                    explain.reason = DecisionReason::RereplicatedCopy { votes };
+                }
+            }
             if let Some(o) = &self.obs {
                 for probe in &explain.probes {
                     o.obs.event(EventKind::QueryProbe {
@@ -652,6 +864,502 @@ impl CollectorCluster {
             .map(|&reason| (reason, nic.count(reason) + fault.count(reason)))
             .filter(|&(_, n)| n > 0)
             .collect()
+    }
+
+    /// Schedule a re-replication sweep for `primary`, which just
+    /// transitioned dead→alive. `records` are the failover records the
+    /// switches logged during the outage (drained from their egress
+    /// logs); `outage_mask` is the liveness mask of the outage era, so
+    /// the sweep reads each key's failover copy from exactly where the
+    /// egress put it; `switch_ring_tails` are the primary's append tail
+    /// registers as the switches currently hold them (serial-max across
+    /// switches, Append primitive only).
+    ///
+    /// Records parked by an earlier aborted sweep for this primary are
+    /// merged in. If a sweep for this primary is already running the new
+    /// records are parked instead — they'll ride the next recovery.
+    pub fn schedule_rerepl(
+        &mut self,
+        primary: u32,
+        outage_mask: LivenessMask,
+        records: Vec<FailoverRecord>,
+        switch_ring_tails: &[(u64, u32)],
+        config: SweepConfig,
+        now: u64,
+    ) {
+        let mut merged: Vec<FailoverRecord> = self.parked.remove(&primary).unwrap_or_default();
+        let mut seen: HashSet<Vec<u8>> = merged.iter().map(|r| r.key.clone()).collect();
+        for record in records {
+            if record.primary == primary && seen.insert(record.key.clone()) {
+                merged.push(record);
+            }
+        }
+        if merged.is_empty() {
+            return;
+        }
+        if self.sweeps.iter().any(|s| s.primary == primary) {
+            self.parked.entry(primary).or_default().extend(merged);
+            return;
+        }
+        let mut switch_tails = BTreeMap::new();
+        for &(ring, tail) in switch_ring_tails {
+            let entry = switch_tails.entry(ring).or_insert(0u32);
+            *entry = seq_newest(*entry, tail);
+        }
+        let qp = self.collectors[primary as usize].allocate_switch_qp();
+        if let Some(o) = &self.obs {
+            o.obs.event(EventKind::SweepScheduled {
+                collector: primary as u8,
+                keys: merged.len() as u32,
+            });
+        }
+        self.sweeps.push(RereplSweep {
+            primary,
+            outage_mask,
+            config,
+            psn: qp.start_psn.value(),
+            qp,
+            pending: merged
+                .into_iter()
+                .map(|record| SweepKey {
+                    record,
+                    units: None,
+                    tombstones: Vec::new(),
+                    retries: 0,
+                    not_before: now,
+                })
+                .collect(),
+            restored: Vec::new(),
+            abandoned: 0,
+            next_batch_at: now,
+            switch_tails,
+            reconciliations: BTreeMap::new(),
+        });
+    }
+
+    /// Drive every in-flight sweep one frame-clock step. Call once per
+    /// simulated frame (alongside fault advancement); batches fire only
+    /// when their pacing interval has elapsed, so the sweep consumes
+    /// bounded fabric bandwidth. Returns the append tail
+    /// reconciliations of any sweep that completed this step — the
+    /// caller must push each into every switch's tail registers.
+    pub fn rerepl_tick(&mut self, now: u64) -> Vec<RingReconciliation> {
+        let mut reconciliations = Vec::new();
+        if self.sweeps.is_empty() {
+            return reconciliations;
+        }
+        let sweeps = std::mem::take(&mut self.sweeps);
+        let mut keep = Vec::new();
+        for mut sweep in sweeps {
+            // The recovered primary's RDMA path died again mid-sweep
+            // (crash or blackhole). Nothing has been tombstoned
+            // (tombstoning only runs at completion), so every failover
+            // copy survives; park all keys — restored ones too, their
+            // primary copies just got wiped — for the next recovery. A
+            // merely *degraded* primary keeps sweeping: last-hop loss
+            // is exactly what the per-key retry budget is for.
+            if matches!(
+                self.health[sweep.primary as usize],
+                CollectorHealth::Crashed | CollectorHealth::Blackholed
+            ) {
+                let parked = self.parked.entry(sweep.primary).or_default();
+                for key in sweep.restored.drain(..).chain(sweep.pending.drain(..)) {
+                    parked.push(key.record);
+                }
+                continue;
+            }
+            if now < sweep.next_batch_at {
+                keep.push(sweep);
+                continue;
+            }
+            self.run_sweep_batch(&mut sweep, now);
+            if sweep.pending.is_empty() {
+                self.complete_sweep(sweep, &mut reconciliations);
+            } else {
+                keep.push(sweep);
+            }
+        }
+        // Sweeps scheduled from inside this loop are impossible (no
+        // re-entrancy), so a plain overwrite-with-kept is safe.
+        self.sweeps = keep;
+        reconciliations
+    }
+
+    /// Run one batch of `sweep`: attempt write-back for up to
+    /// `batch_size` keys whose backoff has expired.
+    fn run_sweep_batch(&mut self, sweep: &mut RereplSweep, now: u64) {
+        let mut requeue = VecDeque::new();
+        let mut processed = 0usize;
+        let mut batch_copied = 0u32;
+        let mut batch_aborted = 0u32;
+        while processed < sweep.config.batch_size && !sweep.pending.is_empty() {
+            let mut key = sweep.pending.pop_front().expect("checked non-empty");
+            if now < key.not_before {
+                requeue.push_back(key);
+                continue;
+            }
+            processed += 1;
+            if key.units.is_none() {
+                match self.build_sweep_units(
+                    sweep.primary,
+                    sweep.outage_mask,
+                    &key.record.key,
+                    &sweep.switch_tails,
+                    &mut sweep.reconciliations,
+                ) {
+                    UnitBuild::Units {
+                        units,
+                        tombstones,
+                        scanned,
+                    } => {
+                        self.rerepl_stats.slots_scanned += scanned;
+                        if let Some(o) = &self.obs {
+                            o.rerepl_scanned.add(scanned);
+                        }
+                        key.units = Some(units);
+                        key.tombstones = tombstones;
+                    }
+                    UnitBuild::Stale => {
+                        sweep.abandoned += 1;
+                        self.rerepl_stats.keys_abandoned += 1;
+                        continue;
+                    }
+                    UnitBuild::TargetDown => {
+                        self.parked
+                            .entry(sweep.primary)
+                            .or_default()
+                            .push(key.record);
+                        continue;
+                    }
+                }
+            }
+            let unit_count = key.units.as_ref().expect("built above").len();
+            let mut failed = false;
+            for index in 0..unit_count {
+                let (kind, done) = {
+                    let unit = &key.units.as_ref().expect("built above")[index];
+                    (unit.kind.clone(), unit.done)
+                };
+                if done {
+                    continue;
+                }
+                let frame = self.sweep_frame(&sweep.qp, sweep.psn, &kind);
+                match self.deliver(&frame).action {
+                    RxAction::WriteExecuted { .. } | RxAction::AtomicExecuted { .. } => {
+                        key.units.as_mut().expect("built above")[index].done = true;
+                        sweep.psn = (sweep.psn + 1) & (Psn::MODULUS - 1);
+                        batch_copied += 1;
+                        self.rerepl_stats.slots_copied += 1;
+                        if let Some(o) = &self.obs {
+                            o.rerepl_copied.inc();
+                        }
+                    }
+                    _ => {
+                        // The frame died in the fabric (e.g. the primary
+                        // crashed again under us). The PSN is NOT
+                        // advanced — the QP never saw this frame, so the
+                        // retry must reuse it.
+                        batch_aborted += 1;
+                        self.rerepl_stats.writebacks_aborted += 1;
+                        if let Some(o) = &self.obs {
+                            o.rerepl_aborted.inc();
+                        }
+                        failed = true;
+                        break;
+                    }
+                }
+            }
+            if failed {
+                key.retries += 1;
+                if key.retries > sweep.config.max_retries {
+                    // Retry budget exhausted — but the failover copy is
+                    // still intact (only completion tombstones), so the
+                    // record parks for the next recovery rather than
+                    // vanishing: dropping it would strand that copy
+                    // where a live primary shadows it from every read.
+                    sweep.abandoned += 1;
+                    self.rerepl_stats.keys_abandoned += 1;
+                    self.parked
+                        .entry(sweep.primary)
+                        .or_default()
+                        .push(key.record);
+                } else {
+                    key.not_before = now + sweep.config.retry_backoff;
+                    requeue.push_back(key);
+                }
+            } else {
+                sweep.restored.push(key);
+            }
+        }
+        sweep.pending.append(&mut requeue);
+        sweep.next_batch_at = now + sweep.config.pacing;
+        if processed > 0 {
+            self.rerepl_stats.batches += 1;
+            if let Some(o) = &self.obs {
+                o.rerepl_batches.inc();
+                o.obs.event(EventKind::SweepBatch {
+                    collector: sweep.primary as u8,
+                    copied: batch_copied,
+                    aborted: batch_aborted,
+                });
+            }
+        }
+    }
+
+    /// Finish a sweep whose pending queue drained: retire the stranded
+    /// failover copies (write-backs are all ACKed and the primary was
+    /// healthy at the top of this tick, so at tombstone time the data
+    /// provably exists on the primary), record the restored keys for
+    /// the explain rewrite, and surface the ring reconciliations.
+    fn complete_sweep(&mut self, sweep: RereplSweep, out: &mut Vec<RingReconciliation>) {
+        let mut tombstoned = 0u64;
+        for key in &sweep.restored {
+            for &(target, va, len) in &key.tombstones {
+                if self.health[target as usize].reachable()
+                    && self.collectors[target as usize].tombstone(va, len).is_ok()
+                {
+                    tombstoned += 1;
+                }
+            }
+            self.restored_keys.insert(key.record.key.clone());
+            self.rerepl_stats.keys_restored += 1;
+        }
+        self.rerepl_stats.slots_tombstoned += tombstoned;
+        if let Some(o) = &self.obs {
+            o.rerepl_tombstoned.add(tombstoned);
+            o.obs.event(EventKind::SweepCompleted {
+                collector: sweep.primary as u8,
+                restored: sweep.restored.len() as u32,
+                abandoned: sweep.abandoned,
+            });
+        }
+        for (&ring, &stored_seq) in &sweep.reconciliations {
+            out.push(RingReconciliation {
+                collector: sweep.primary,
+                ring,
+                stored_seq,
+            });
+        }
+    }
+
+    /// Derive one key's write-back units and tombstones from its
+    /// failover copy, per primitive:
+    ///
+    /// * Key-Write: each checksum-verified copy slot at the failover
+    ///   target is rewritten verbatim to the same slot index on the
+    ///   primary (slot hashes are collector-independent).
+    /// * Append: the target ring's matched window is re-appended to the
+    ///   primary's ring, sequence numbers continuing from the serial-max
+    ///   of the primary's in-memory newest, the switches' tail
+    ///   registers, and earlier keys' re-appends this sweep.
+    /// * Key-Increment: each nonzero failover counter word is merged
+    ///   into the primary's counter by FETCH_ADD of the whole delta.
+    fn build_sweep_units(
+        &self,
+        primary: u32,
+        outage_mask: LivenessMask,
+        key: &[u8],
+        switch_tails: &BTreeMap<u64, u32>,
+        reconciliations: &mut BTreeMap<u64, u32>,
+    ) -> UnitBuild {
+        let target = match failover_collector(self.mapping.as_ref(), key, outage_mask) {
+            FailoverTarget::Failover { primary: p, target } if p == primary => target,
+            _ => return UnitBuild::Stale,
+        };
+        if !self.health[target as usize].reachable() {
+            return UnitBuild::TargetDown;
+        }
+        let primary_ep = self.collectors[primary as usize].endpoint();
+        let target_ep = self.collectors[target as usize].endpoint();
+        let layout = self.config.layout;
+        let entry_len = self.config.primitive.entry_len(&layout) as u64;
+        let mut units = Vec::new();
+        let mut tombstones = Vec::new();
+        let mut scanned = 0u64;
+        match self.config.primitive {
+            PrimitiveSpec::KeyWrite => {
+                self.collectors[target as usize].with_view(|view| {
+                    for copy in 0..self.config.copies {
+                        scanned += 1;
+                        if let Some((slot, entry)) = view.verified_copy(key, copy) {
+                            units.push(SweepUnit {
+                                kind: UnitKind::Write {
+                                    va: primary_ep.base_va + slot * entry_len,
+                                    payload: entry,
+                                },
+                                done: false,
+                            });
+                            tombstones.push((
+                                target,
+                                target_ep.base_va + slot * entry_len,
+                                entry_len as usize,
+                            ));
+                        }
+                    }
+                });
+            }
+            PrimitiveSpec::Append { ring_capacity } => {
+                let want = self.mapping.key_checksum(key);
+                let (ring, scan) = self.collectors[target as usize].with_view(|view| {
+                    let ring = view.ring_index(key);
+                    let bytes = view.ring_bytes(ring).expect("append primitive has rings");
+                    (ring, append_scan(&layout, bytes, want, ring_capacity))
+                });
+                scanned += scan.slots.len() as u64;
+                // Every matched entry at the target belongs to this
+                // listkey; all are retired once the window lands.
+                for slot_scan in scan.slots.iter().filter(|s| s.matched) {
+                    tombstones.push((
+                        target,
+                        target_ep.base_va + (ring * ring_capacity + slot_scan.position) * entry_len,
+                        entry_len as usize,
+                    ));
+                }
+                if !scan.window.is_empty() {
+                    let mem_newest = self.collectors[primary as usize].with_view(|view| {
+                        let bytes = view.ring_bytes(ring).expect("same geometry");
+                        append_newest_seq(&layout, bytes)
+                    });
+                    let mut base =
+                        seq_newest(mem_newest, switch_tails.get(&ring).copied().unwrap_or(0));
+                    if let Some(&running) = reconciliations.get(&ring) {
+                        base = seq_newest(base, running);
+                    }
+                    for (offset, value) in scan.window.iter().enumerate() {
+                        let seq = base.wrapping_add(offset as u32 + 1);
+                        let position = u64::from(seq.wrapping_sub(1)) % ring_capacity;
+                        let mut payload = vec![0u8; entry_len as usize];
+                        append_encode_entry(&layout, seq, want, value, &mut payload)
+                            .expect("geometry validated at construction");
+                        units.push(SweepUnit {
+                            kind: UnitKind::Write {
+                                va: primary_ep.base_va
+                                    + (ring * ring_capacity + position) * entry_len,
+                                payload,
+                            },
+                            done: false,
+                        });
+                    }
+                    reconciliations.insert(ring, base.wrapping_add(scan.window.len() as u32));
+                }
+            }
+            PrimitiveSpec::KeyIncrement => {
+                self.collectors[target as usize].with_view(|view| {
+                    for copy in 0..self.config.copies {
+                        scanned += 1;
+                        let (slot, value) = view
+                            .counter_word(key, copy)
+                            .expect("increment geometry validated at construction");
+                        if value != 0 {
+                            units.push(SweepUnit {
+                                kind: UnitKind::FetchAdd {
+                                    va: primary_ep.base_va + slot * entry_len,
+                                    delta: value,
+                                },
+                                done: false,
+                            });
+                            tombstones.push((
+                                target,
+                                target_ep.base_va + slot * entry_len,
+                                entry_len as usize,
+                            ));
+                        }
+                    }
+                });
+            }
+        }
+        UnitBuild::Units {
+            units,
+            tombstones,
+            scanned,
+        }
+    }
+
+    /// Frame one write-back unit for the sweep QP. The sweep is an
+    /// ordinary RDMA peer of the fabric: its frames route, transport-
+    /// check, and *drop* exactly like switch reports do.
+    fn sweep_frame(&self, qp: &RemoteEndpoint, psn: u32, kind: &UnitKind) -> Vec<u8> {
+        const SWEEP_SRC_MAC: ethernet::Address = ethernet::Address([0x02, 0xCF, 0, 0, 0, 1]);
+        const SWEEP_SRC_IP: ipv4::Address = ipv4::Address([10, 0, 0, 254]);
+        const SWEEP_UDP_SRC: u16 = 49153;
+        let packet = match kind {
+            UnitKind::Write { va, payload } => RoceRepr::Write {
+                bth: BthRepr {
+                    opcode: Opcode::UcRdmaWriteOnly,
+                    solicited: false,
+                    migration: true,
+                    pad_count: ((4 - payload.len() % 4) % 4) as u8,
+                    partition_key: 0xFFFF,
+                    dest_qp: qp.qpn,
+                    ack_request: false,
+                    psn,
+                },
+                reth: RethRepr {
+                    virtual_addr: *va,
+                    rkey: qp.rkey,
+                    dma_len: payload.len() as u32,
+                },
+                payload: payload.clone(),
+            },
+            UnitKind::FetchAdd { va, delta } => RoceRepr::FetchAdd {
+                bth: BthRepr {
+                    opcode: Opcode::RcFetchAdd,
+                    solicited: false,
+                    migration: true,
+                    pad_count: 0,
+                    partition_key: 0xFFFF,
+                    dest_qp: qp.qpn,
+                    ack_request: true,
+                    psn,
+                },
+                atomic: AtomicEthRepr {
+                    virtual_addr: *va,
+                    rkey: qp.rkey,
+                    swap_or_add: *delta,
+                    compare: 0,
+                },
+            },
+        };
+        dta_rdma::nic::build_roce_frame(
+            SWEEP_SRC_MAC,
+            qp.mac,
+            SWEEP_SRC_IP,
+            qp.ip,
+            SWEEP_UDP_SRC,
+            &packet,
+        )
+    }
+
+    /// Cumulative re-replication statistics.
+    pub fn rerepl_stats(&self) -> RereplStats {
+        self.rerepl_stats
+    }
+
+    /// Whether a sweep for `primary` is currently in flight.
+    pub fn sweep_active(&self, primary: u32) -> bool {
+        self.sweeps.iter().any(|s| s.primary == primary)
+    }
+
+    /// Number of sweeps currently in flight.
+    pub fn active_sweeps(&self) -> usize {
+        self.sweeps.len()
+    }
+
+    /// Failover records parked for `primary`, awaiting its next
+    /// recovery.
+    pub fn parked_records(&self, primary: u32) -> usize {
+        self.parked.get(&primary).map_or(0, Vec::len)
+    }
+
+    /// Total failover records parked across all primaries.
+    pub fn parked_total(&self) -> usize {
+        self.parked.values().map(Vec::len).sum()
+    }
+
+    /// Whether a completed sweep restored `key` to its primary (drives
+    /// the [`DecisionReason::RereplicatedCopy`] explain rewrite).
+    pub fn key_restored(&self, key: &[u8]) -> bool {
+        self.restored_keys.contains(key)
     }
 }
 

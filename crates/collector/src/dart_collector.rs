@@ -178,6 +178,30 @@ impl DartCollector {
         &self.handle
     }
 
+    /// Run `f` over a [`dta_core::store::StoreView`] of the live
+    /// region — the zero-copy read surface the recovery sweep scans
+    /// failover slots through (checksum-verified reads, ring windows,
+    /// counter words) without going through the query policies.
+    pub fn with_view<R>(&self, f: impl FnOnce(&dta_core::store::StoreView<'_>) -> R) -> R {
+        self.handle.with(|memory| {
+            let view = self
+                .engine
+                .view(memory)
+                .expect("region geometry matches config by construction");
+            f(&view)
+        })
+    }
+
+    /// Host-side tombstone: zero `len` bytes at virtual address `va` in
+    /// the telemetry region. This is the *local* CPU acting on its own
+    /// DRAM (like [`DartCollector::rotate_epoch`]'s wipe) — no remote
+    /// permissions are involved, so the collector rkey stays write/atomic
+    /// only. The recovery sweep uses it to retire stranded failover
+    /// copies once their write-back to the recovered primary is ACKed.
+    pub fn tombstone(&mut self, va: u64, len: usize) -> Result<(), dta_rdma::nic::NicError> {
+        self.device.nic().host_zero(self.endpoint.rkey, va, len)
+    }
+
     /// Seal the current epoch (§5.2.1): snapshot the region into the
     /// historical tier and zero it for the next epoch. Returns the
     /// sealed epoch's id. Switches keep writing throughout — reports

@@ -31,6 +31,7 @@ pub mod rx;
 
 pub use cluster::{
     CandidateProbe, ClusterQueryExplain, CollectorCluster, CollectorHealth, FaultDrops, QueryError,
-    QueryRouting,
+    QueryRouting, RereplStats, RingReconciliation, SweepConfig,
 };
 pub use dart_collector::DartCollector;
+pub use query_service::{Answer, QueryService, RecoveryStatus, ServiceStats};

@@ -17,7 +17,7 @@ use dta_telemetry::query_mirror::{QueryAnswer, QueryMirrorBackend};
 use dta_telemetry::trace::{AnalysisKind, AnalysisOutput, TraceBackend, TraceKey};
 use dta_wire::FiveTuple;
 
-use crate::cluster::{ClusterQueryExplain, CollectorCluster};
+use crate::cluster::{ClusterQueryExplain, CollectorCluster, RereplStats};
 
 /// A typed query answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +56,29 @@ pub struct ServiceStats {
     pub empty: u64,
     /// Queries whose matched bytes failed to decode.
     pub garbled: u64,
+}
+
+/// The operator's recovery dashboard row: how much outage-era telemetry
+/// is still in flight back to its primaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryStatus {
+    /// Re-replication sweeps currently in flight.
+    pub active_sweeps: usize,
+    /// Failover records parked for a future recovery — their primary
+    /// died again mid-sweep, or their write-backs exhausted the retry
+    /// budget.
+    pub parked_records: usize,
+    /// Lifetime sweep totals (the plain twin of the `dta_rerepl_*`
+    /// counters).
+    pub stats: RereplStats,
+}
+
+impl RecoveryStatus {
+    /// Whether every piece of outage-era telemetry is home: nothing
+    /// sweeping, nothing parked.
+    pub fn settled(&self) -> bool {
+        self.active_sweeps == 0 && self.parked_records == 0
+    }
 }
 
 /// The typed query console.
@@ -186,6 +209,24 @@ impl<'a> QueryService<'a> {
     /// row 1): why did "what path did this flow take?" answer — or not?
     pub fn explain_int_path(&mut self, flow: &FiveTuple) -> ClusterQueryExplain {
         self.explain_key(&IntPathBackend::encode_key(flow))
+    }
+
+    /// The recovery dashboard: in-flight sweeps, parked failover
+    /// records and lifetime re-replication totals. Like explain, a
+    /// diagnostic lens — does not touch [`ServiceStats`].
+    pub fn recovery_status(&self) -> RecoveryStatus {
+        RecoveryStatus {
+            active_sweeps: self.cluster.active_sweeps(),
+            parked_records: self.cluster.parked_total(),
+            stats: self.cluster.rerepl_stats(),
+        }
+    }
+
+    /// Whether `key`'s current answer is a re-replicated copy a sweep
+    /// carried home after an outage — the same fact the explain path
+    /// narrates as [`dta_core::query::DecisionReason::RereplicatedCopy`].
+    pub fn was_restored(&self, key: &[u8]) -> bool {
+        self.cluster.key_restored(key)
     }
 
     /// Probe every anomaly kind for a flow — an incident dashboard row.
@@ -367,6 +408,18 @@ mod tests {
         assert!(store.matched() >= 1);
         // Explain is a diagnostic lens: stats stay untouched.
         assert_eq!(service.stats(), ServiceStats::default());
+    }
+
+    #[test]
+    fn recovery_dashboard_settles_on_a_healthy_cluster() {
+        let mut cluster = cluster_with(&[]);
+        let service = QueryService::new(&mut cluster);
+        let status = service.recovery_status();
+        assert!(status.settled());
+        assert_eq!(status.active_sweeps, 0);
+        assert_eq!(status.parked_records, 0);
+        assert_eq!(status.stats, crate::cluster::RereplStats::default());
+        assert!(!service.was_restored(b"never-swept"));
     }
 
     #[test]

@@ -349,6 +349,27 @@ pub fn failover_collector(
     FailoverTarget::Failover { primary, target }
 }
 
+/// One key a switch egress remapped to a failover collector while its
+/// primary was marked dead.
+///
+/// Slots store only key *checksums*, which are not invertible, so the
+/// recovery re-replication sweep is key-driven: the egress records which
+/// keys it rerouted (and where), and the control plane hands the drained
+/// records to the sweep once the primary flips back alive. The sweep
+/// re-derives the target through [`failover_collector`] under the
+/// outage-era mask and cross-checks it against the recorded `target`;
+/// records that disagree (the mask changed again mid-outage) are skipped
+/// rather than guessed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailoverRecord {
+    /// The dead primary the key belongs to.
+    pub primary: u32,
+    /// The live collector the writes were redirected to.
+    pub target: u32,
+    /// The rerouted key (listkey for Append rings).
+    pub key: Vec<u8>,
+}
+
 /// An [`AddressMapping`] wrapper that applies liveness-aware failover to
 /// collector selection while passing slot and checksum choices through
 /// untouched.

@@ -298,6 +298,41 @@ pub fn append_scan(
     AppendScan { slots, window }
 }
 
+/// The newest stored sequence number present in a raw ring byte-slice,
+/// under serial-number arithmetic (0 for an empty ring). Checksums are
+/// deliberately ignored: the ring's tail is a property of the ring as a
+/// whole, shared by every listkey hashing into it. Used to rebuild tail
+/// state from memory (collector restart) and by the recovery sweep to
+/// find where re-appended entries must continue from.
+pub fn append_newest_seq(layout: &SlotLayout, ring: &[u8]) -> u32 {
+    let entry_len = APPEND_SEQ_LEN + layout.slot_len();
+    let mut newest = 0u32;
+    for entry in ring.chunks_exact(entry_len) {
+        if let Ok((stored, _, _)) = append_decode_entry(layout, entry) {
+            if stored != 0 && (newest == 0 || stored.wrapping_sub(newest) < 1 << 31) {
+                newest = stored;
+            }
+        }
+    }
+    newest
+}
+
+/// The newer of two stored sequence numbers under serial arithmetic
+/// (0 = "never written" loses to anything).
+pub fn seq_newest(a: u32, b: u32) -> u32 {
+    if a == 0 {
+        return b;
+    }
+    if b == 0 {
+        return a;
+    }
+    if b.wrapping_sub(a) < 1 << 31 {
+        b
+    } else {
+        a
+    }
+}
+
 /// Encode a Key-Increment delta as its 8-byte big-endian wire value.
 pub fn increment_encode(delta: u64) -> [u8; 8] {
     delta.to_be_bytes()
@@ -476,6 +511,26 @@ mod tests {
         let ring = ring_with(&l, 4, &[(1, 10, b"newest__"), (3, 4, b"stale___")]);
         let scan = append_scan(&l, &ring, 0xFEED, 4);
         assert_eq!(scan.window, vec![b"newest__".to_vec()]);
+    }
+
+    #[test]
+    fn newest_seq_over_raw_ring_bytes() {
+        let l = layout();
+        assert_eq!(append_newest_seq(&l, &ring_with(&l, 4, &[])), 0);
+        let ring = ring_with(&l, 4, &[(2, 3, b"cccccccc"), (3, 4, b"dddddddd")]);
+        assert_eq!(append_newest_seq(&l, &ring), 4);
+        // Serial arithmetic across the u32 wrap: 1 is newer than MAX.
+        let ring = ring_with(&l, 4, &[(2, u32::MAX, b"oldest__"), (0, 1, b"newest__")]);
+        assert_eq!(append_newest_seq(&l, &ring), 1);
+    }
+
+    #[test]
+    fn seq_newest_serial_rules() {
+        assert_eq!(seq_newest(0, 7), 7);
+        assert_eq!(seq_newest(7, 0), 7);
+        assert_eq!(seq_newest(3, 9), 9);
+        assert_eq!(seq_newest(u32::MAX, 1), 1);
+        assert_eq!(seq_newest(1, u32::MAX), 1);
     }
 
     #[test]

@@ -100,6 +100,16 @@ pub enum DecisionReason {
         /// Votes the best value actually had.
         got: u8,
     },
+    /// The policy answered from a slot that a recovery sweep wrote back
+    /// after its primary collector returned from the dead. Never
+    /// produced by [`decide_explain`] itself — the cluster's failover
+    /// router rewrites [`DecisionReason::Answered`] into this variant
+    /// when the answering key is known to have been re-replicated, so
+    /// explain traces show the answer survived an outage.
+    RereplicatedCopy {
+        /// Matching slots that carried the returned value.
+        votes: u8,
+    },
 }
 
 impl DecisionReason {
@@ -111,7 +121,16 @@ impl DecisionReason {
             DecisionReason::ConflictingValues => "conflicting_values",
             DecisionReason::PluralityTie => "plurality_tie",
             DecisionReason::BelowConsensus { .. } => "below_consensus",
+            DecisionReason::RereplicatedCopy { .. } => "rereplicated_copy",
         }
+    }
+
+    /// Whether the reason corresponds to an answered query.
+    pub fn is_answered(&self) -> bool {
+        matches!(
+            self,
+            DecisionReason::Answered { .. } | DecisionReason::RereplicatedCopy { .. }
+        )
     }
 }
 
@@ -391,6 +410,20 @@ mod tests {
             DecisionReason::BelowConsensus { needed: 3, got: 1 }.name(),
             "below_consensus"
         );
+        assert_eq!(
+            DecisionReason::RereplicatedCopy { votes: 2 }.name(),
+            "rereplicated_copy"
+        );
+    }
+
+    #[test]
+    fn answered_reasons_are_flagged() {
+        assert!(DecisionReason::Answered { votes: 1 }.is_answered());
+        assert!(DecisionReason::RereplicatedCopy { votes: 1 }.is_answered());
+        assert!(!DecisionReason::NoSlotMatched.is_answered());
+        assert!(!DecisionReason::ConflictingValues.is_answered());
+        assert!(!DecisionReason::PluralityTie.is_answered());
+        assert!(!DecisionReason::BelowConsensus { needed: 2, got: 1 }.is_answered());
     }
 
     #[test]

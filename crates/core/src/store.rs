@@ -10,7 +10,7 @@ use crate::config::{DartConfig, WriteStrategy};
 use crate::error::DartError;
 use crate::hash::AddressMapping;
 use crate::primitive::{
-    append_decode_entry, append_encode_entry, append_scan, increment_decode, PrimitiveSpec,
+    append_encode_entry, append_newest_seq, append_scan, increment_decode, PrimitiveSpec,
 };
 use crate::query::{decide_explain, DecisionReason, QueryOutcome, ReturnPolicy};
 
@@ -129,17 +129,7 @@ impl DartStore {
         let ring_bytes = ring_capacity as usize * entry_len;
         memory
             .chunks_exact(ring_bytes)
-            .map(|ring| {
-                let mut newest = 0u32;
-                for entry in ring.chunks_exact(entry_len) {
-                    if let Ok((stored, _, _)) = append_decode_entry(&config.layout, entry) {
-                        if stored != 0 && (newest == 0 || stored.wrapping_sub(newest) < 1 << 31) {
-                            newest = stored;
-                        }
-                    }
-                }
-                newest
-            })
+            .map(|ring| append_newest_seq(&config.layout, ring))
             .collect()
     }
 
@@ -461,6 +451,76 @@ impl<'a> StoreView<'a> {
         matches
     }
 
+    /// The raw bytes of one entry slot.
+    pub fn entry_bytes(&self, slot: u64) -> Result<&'a [u8], DartError> {
+        if slot >= self.config.slots {
+            return Err(DartError::SlotOutOfRange {
+                slot,
+                slots: self.config.slots,
+            });
+        }
+        let len = self.config.entry_len();
+        let start = slot as usize * len;
+        Ok(&self.memory[start..start + len])
+    }
+
+    /// Checksum-verified read of one Key-Write copy of `key`: the slot
+    /// index plus its raw entry bytes, or `None` if the slot is empty or
+    /// holds another key's report. This is the recovery sweep's read
+    /// primitive — write-back only moves entries whose stored checksum
+    /// re-verifies against the key, so a stranded slot that was since
+    /// overwritten by the failover collector's own traffic is never
+    /// copied (and never tombstoned).
+    pub fn verified_copy(&self, key: &[u8], copy: u8) -> Option<(u64, Vec<u8>)> {
+        let layout = self.config.layout;
+        let expected = layout.checksum.truncate(self.mapping.key_checksum(key));
+        let slot = self.mapping.slot(key, copy, self.config.slots);
+        let entry = self.entry_bytes(slot).expect("slot within geometry");
+        match layout.decode(entry) {
+            Ok((stored, _)) if stored == expected && entry.iter().any(|&b| b != 0) => {
+                Some((slot, entry.to_vec()))
+            }
+            _ => None,
+        }
+    }
+
+    /// The ring index `listkey` hashes to (Append geometry).
+    pub fn ring_index(&self, listkey: &[u8]) -> u64 {
+        self.mapping.slot(listkey, 0, self.config.rings())
+    }
+
+    /// The raw bytes of one whole Append ring.
+    pub fn ring_bytes(&self, ring: u64) -> Result<&'a [u8], DartError> {
+        let PrimitiveSpec::Append { ring_capacity } = self.config.primitive else {
+            return Err(DartError::InvalidConfig(
+                "ring_bytes requires the Append primitive",
+            ));
+        };
+        let rings = self.config.rings();
+        if ring >= rings {
+            return Err(DartError::SlotOutOfRange {
+                slot: ring,
+                slots: rings,
+            });
+        }
+        let entry_len = self.config.entry_len();
+        let start = (ring * ring_capacity) as usize * entry_len;
+        Ok(&self.memory[start..start + ring_capacity as usize * entry_len])
+    }
+
+    /// One Key-Increment counter word of `key`: `(slot, value)`.
+    pub fn counter_word(&self, key: &[u8], copy: u8) -> Result<(u64, u64), DartError> {
+        if self.config.primitive != PrimitiveSpec::KeyIncrement {
+            return Err(DartError::InvalidConfig(
+                "counter_word requires the KeyIncrement primitive",
+            ));
+        }
+        let slot = self.mapping.slot(key, copy, self.config.slots);
+        let entry = self.entry_bytes(slot)?;
+        let word = u64::from_be_bytes(entry.try_into().expect("8-byte counter word"));
+        Ok((slot, word))
+    }
+
     /// Query under an explicit policy.
     ///
     /// The plain query *is* the explain path minus the trace — the two
@@ -664,6 +724,11 @@ impl OwnedQueryEngine {
     ) -> Result<StoreExplain, DartError> {
         let view = StoreView::over(&self.config, self.mapping.as_ref(), memory)?;
         Ok(view.query_explain(key, policy))
+    }
+
+    /// A [`StoreView`] over `memory` using this engine's mapping.
+    pub fn view<'a>(&'a self, memory: &'a [u8]) -> Result<StoreView<'a>, DartError> {
+        StoreView::over(&self.config, self.mapping.as_ref(), memory)
     }
 }
 
@@ -1022,6 +1087,54 @@ mod tests {
         };
         let total = u64::from_be_bytes(total.try_into().unwrap());
         assert_eq!(total, 30, "minimum over copies never overcounts");
+    }
+
+    #[test]
+    fn verified_copy_checks_checksums() {
+        let mut store = DartStore::new(config(1 << 12));
+        store.insert(b"k1", &value(6)).unwrap();
+        let view = store.view();
+        for copy in 0..2u8 {
+            let (slot, bytes) = view.verified_copy(b"k1", copy).expect("copy written");
+            assert_eq!(view.entry_bytes(slot).unwrap(), &bytes[..]);
+            assert_eq!(bytes.len(), store.config().entry_len());
+        }
+        // Unwritten key: slots empty (or another key's) → no verified copy.
+        assert!(view.verified_copy(b"ghost", 0).is_none());
+        assert!(view.entry_bytes(1 << 12).is_err());
+    }
+
+    #[test]
+    fn ring_bytes_expose_whole_rings() {
+        let mut store = DartStore::new(append_config(64, 8));
+        for i in 0..3u8 {
+            store.append(b"events", &[i; 8]).unwrap();
+        }
+        let view = store.view();
+        let ring = view.ring_index(b"events");
+        let bytes = view.ring_bytes(ring).unwrap();
+        assert_eq!(bytes.len(), 8 * store.config().entry_len());
+        assert_eq!(
+            crate::primitive::append_newest_seq(&store.config().layout, bytes),
+            3
+        );
+        assert!(view.ring_bytes(8).is_err());
+        // Wrong primitive refuses.
+        let kw = DartStore::new(config(64));
+        assert!(kw.view().ring_bytes(0).is_err());
+    }
+
+    #[test]
+    fn counter_word_reads_raw_totals() {
+        let mut store = DartStore::new(increment_config(1 << 10));
+        store.increment(b"flow:a", 41).unwrap();
+        let view = store.view();
+        let (_, word) = view.counter_word(b"flow:a", 0).unwrap();
+        assert_eq!(word, 41);
+        let (_, empty) = view.counter_word(b"flow:zzz", 0).unwrap();
+        assert_eq!(empty, 0);
+        let kw = DartStore::new(config(64));
+        assert!(kw.view().counter_word(b"k", 0).is_err());
     }
 
     #[test]

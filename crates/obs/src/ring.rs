@@ -121,6 +121,33 @@ pub enum EventKind {
         /// Counter word value before the add (0 = first increment).
         original: u64,
     },
+    /// The control plane scheduled a re-replication sweep after a
+    /// primary collector transitioned dead → alive.
+    SweepScheduled {
+        /// The recovered primary collector.
+        collector: u8,
+        /// Keys queued for write-back.
+        keys: u32,
+    },
+    /// One rate-limited batch of a re-replication sweep ran.
+    SweepBatch {
+        /// The recovered primary collector.
+        collector: u8,
+        /// Keys whose write-back was ACKed this batch.
+        copied: u32,
+        /// Write-backs that were dropped (retry or abort).
+        aborted: u32,
+    },
+    /// A re-replication sweep drained its queue.
+    SweepCompleted {
+        /// The recovered primary collector.
+        collector: u8,
+        /// Keys restored onto the primary over the whole sweep.
+        restored: u32,
+        /// Keys abandoned after exhausting retries (stranded copies
+        /// kept).
+        abandoned: u32,
+    },
 }
 
 impl EventKind {
@@ -141,6 +168,9 @@ impl EventKind {
             EventKind::LivenessFlip { .. } => "liveness_flip",
             EventKind::Recovery { .. } => "recovery",
             EventKind::CounterCommit { .. } => "counter_commit",
+            EventKind::SweepScheduled { .. } => "sweep_scheduled",
+            EventKind::SweepBatch { .. } => "sweep_batch",
+            EventKind::SweepCompleted { .. } => "sweep_completed",
         }
     }
 }

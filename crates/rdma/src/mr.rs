@@ -221,6 +221,23 @@ impl MemoryRegion {
         self.bytes.write().fill(0);
     }
 
+    /// Host-side zeroing of `[va, va+len)` — the tombstone operation of
+    /// the recovery re-replication sweep. Only bounds are checked (the
+    /// owning host may always write its own memory), so a stranded
+    /// failover slot can be retired without granting remote READ/WRITE.
+    pub fn zero_range(&self, va: u64, len: usize) -> Result<(), AccessError> {
+        let end = va
+            .checked_sub(self.base_va)
+            .and_then(|off| off.checked_add(len as u64))
+            .ok_or(AccessError::OutOfBounds)?;
+        if end > self.len() as u64 {
+            return Err(AccessError::OutOfBounds);
+        }
+        let off = (va - self.base_va) as usize;
+        self.bytes.write()[off..off + len].fill(0);
+        Ok(())
+    }
+
     /// Atomic fetch-and-add on the big-endian u64 at `va`; returns the
     /// value before the add.
     pub fn fetch_add(&self, va: u64, addend: u64) -> Result<u64, AccessError> {
@@ -328,6 +345,19 @@ mod tests {
         handle.with(|bytes| assert_eq!(&bytes[..8], b"zero-cpu"));
         assert_eq!(handle.len(), 256);
         assert!(!handle.is_empty());
+    }
+
+    #[test]
+    fn zero_range_is_bounds_checked_host_access() {
+        // A collector-grade region (no remote READ) can still tombstone
+        // its own slots.
+        let mr = MemoryRegion::new(0x1000, 64, 9, AccessFlags::DART_COLLECTOR);
+        mr.write(0x1010, b"stranded").unwrap();
+        mr.zero_range(0x1010, 8).unwrap();
+        assert_eq!(mr.handle().snapshot()[0x10..0x18], [0u8; 8]);
+        assert_eq!(mr.zero_range(0x0FFF, 1), Err(AccessError::OutOfBounds));
+        assert_eq!(mr.zero_range(0x1000 + 63, 2), Err(AccessError::OutOfBounds));
+        assert!(mr.zero_range(0x1000 + 63, 1).is_ok());
     }
 
     #[test]

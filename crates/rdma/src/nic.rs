@@ -116,6 +116,10 @@ pub enum NicError {
     DuplicateQpn(u32),
     /// Referenced QP does not exist.
     UnknownQpn(u32),
+    /// Referenced memory region does not exist.
+    UnknownRkey(u32),
+    /// A host-side access fell outside the region's bounds.
+    OutOfRegion,
 }
 
 impl core::fmt::Display for NicError {
@@ -124,6 +128,8 @@ impl core::fmt::Display for NicError {
             NicError::DuplicateRkey(k) => write!(f, "rkey {k:#x} already registered"),
             NicError::DuplicateQpn(q) => write!(f, "qpn {q:#x} already in use"),
             NicError::UnknownQpn(q) => write!(f, "unknown qpn {q:#x}"),
+            NicError::UnknownRkey(k) => write!(f, "unknown rkey {k:#x}"),
+            NicError::OutOfRegion => write!(f, "host access outside region bounds"),
         }
     }
 }
@@ -309,6 +315,16 @@ impl RNic {
     /// Look up a registered region.
     pub fn mr(&self, rkey: u32) -> Option<&MemoryRegion> {
         self.mrs.get(&rkey)
+    }
+
+    /// Host-side zeroing of `[va, va+len)` inside a registered region —
+    /// how a collector tombstones a stranded failover slot after the
+    /// recovery sweep's write-back is ACKed. This is the owning host
+    /// writing its own memory (an ordinary cache-coherent store), so no
+    /// remote-access permissions are consulted; only bounds are.
+    pub fn host_zero(&self, rkey: u32, va: u64, len: usize) -> Result<(), NicError> {
+        let mr = self.mrs.get(&rkey).ok_or(NicError::UnknownRkey(rkey))?;
+        mr.zero_range(va, len).map_err(|_| NicError::OutOfRegion)
     }
 
     /// Create a queue pair.
@@ -1027,6 +1043,25 @@ mod tests {
         assert_eq!(outcome.action, RxAction::SendDelivered { len: 20 });
         assert_eq!(nic.pop_send().unwrap(), b"hello control plane!");
         assert!(nic.pop_send().is_none());
+    }
+
+    #[test]
+    fn host_zero_tombstones_without_remote_permissions() {
+        let mut nic = nic();
+        nic.handle_frame(&write_frame(0, 0x10010, b"stranded-report!"));
+        nic.host_zero(RKEY, 0x10010, 16).unwrap();
+        nic.mr(RKEY)
+            .unwrap()
+            .handle()
+            .with(|mem| assert!(mem[0x10..0x20].iter().all(|&b| b == 0)));
+        assert_eq!(
+            nic.host_zero(0xDEAD, 0x10010, 16),
+            Err(NicError::UnknownRkey(0xDEAD))
+        );
+        assert_eq!(
+            nic.host_zero(RKEY, 0x10000 + 4090, 16),
+            Err(NicError::OutOfRegion)
+        );
     }
 
     #[test]

@@ -72,10 +72,25 @@ impl ControlPlane {
 
 /// Probe-loop parameters (ticks are the caller's time unit — frames in
 /// the simulator, microseconds on real hardware).
+///
+/// The probe cadence is RTT-adaptive rather than fixed: each ACKed probe
+/// contributes an RTT sample to an RFC 6298-style integer EWMA
+/// (`srtt ← ⅞·srtt + ⅛·rtt`, `rttvar ← ¾·rttvar + ¼·|srtt − rtt|`), and
+/// the next probe fires after `srtt + rtt_dev_mult·rttvar` ticks,
+/// clamped to `[min_interval, max_interval]`. A close collector is
+/// probed often (fast failure detection); a distant or jittery one is
+/// probed gently (no false deaths from ordinary tail latency). All
+/// arithmetic is integer and every sample arrives through the caller's
+/// probe closure, so the loop stays frame-clocked deterministic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProbeConfig {
-    /// Ticks between probes to a responsive collector.
-    pub interval: u64,
+    /// Floor for the adaptive interval; also the cold-start cadence
+    /// before the first RTT sample.
+    pub min_interval: u64,
+    /// Ceiling for the adaptive interval.
+    pub max_interval: u64,
+    /// Deviation multiplier `k` in `srtt + k·rttvar` (RFC 6298 uses 4).
+    pub rtt_dev_mult: u32,
     /// Consecutive unanswered probes before a collector is declared dead.
     pub miss_threshold: u32,
     /// Cap on the exponentially backed-off probe interval for a dead
@@ -86,7 +101,9 @@ pub struct ProbeConfig {
 impl Default for ProbeConfig {
     fn default() -> Self {
         ProbeConfig {
-            interval: 16,
+            min_interval: 8,
+            max_interval: 64,
+            rtt_dev_mult: 4,
             miss_threshold: 3,
             backoff_max: 256,
         }
@@ -99,7 +116,39 @@ struct ProbePeer {
     live: bool,
     misses: u32,
     next_probe_at: u64,
+    /// Current probe cadence: the adaptive interval while live, the
+    /// exponentially backed-off interval while dead.
     backoff: u64,
+    /// Smoothed RTT estimate, stored ×8 (0 until the first sample).
+    srtt: u64,
+    /// Smoothed RTT deviation, stored ×4.
+    rttvar: u64,
+    /// Whether any RTT sample has arrived yet.
+    sampled: bool,
+}
+
+impl ProbePeer {
+    /// Fold one RTT sample into the estimator and return the new
+    /// adaptive probe interval.
+    fn absorb_rtt(&mut self, sample: u64, cfg: &ProbeConfig) -> u64 {
+        let sample = sample.max(1);
+        if self.sampled {
+            // Jacobson's scaled integer form: `srtt` is kept ×8 and
+            // `rttvar` ×4 so the ⅛ / ¼ gains update without the
+            // truncation bias an unscaled `(7·srtt + rtt)/8` has —
+            // flooring each step traps the unscaled estimate below the
+            // true mean under alternating jitter.
+            let delta = sample.abs_diff(self.srtt >> 3);
+            self.rttvar = self.rttvar - (self.rttvar >> 2) + delta;
+            self.srtt = self.srtt - (self.srtt >> 3) + sample;
+        } else {
+            self.srtt = sample << 3;
+            self.rttvar = (sample / 2) << 2;
+            self.sampled = true;
+        }
+        ((self.srtt >> 3) + u64::from(cfg.rtt_dev_mult) * (self.rttvar >> 2))
+            .clamp(cfg.min_interval, cfg.max_interval)
+    }
 }
 
 /// The control plane's collector health monitor.
@@ -131,7 +180,11 @@ impl HealthMonitor {
     /// Monitor `collectors` peers, all presumed live, first probes due
     /// immediately.
     pub fn new(collectors: u32, config: ProbeConfig) -> HealthMonitor {
-        assert!(config.interval > 0, "probe interval must be nonzero");
+        assert!(config.min_interval > 0, "probe interval must be nonzero");
+        assert!(
+            config.max_interval >= config.min_interval,
+            "probe interval clamp must be non-empty"
+        );
         HealthMonitor {
             config,
             peers: vec![
@@ -139,7 +192,10 @@ impl HealthMonitor {
                     live: true,
                     misses: 0,
                     next_probe_at: 0,
-                    backoff: config.interval,
+                    backoff: config.min_interval,
+                    srtt: 0,
+                    rttvar: 0,
+                    sampled: false,
                 };
                 collectors as usize
             ],
@@ -170,27 +226,38 @@ impl HealthMonitor {
         mask
     }
 
+    /// The current adaptive probe interval for collector `id` (the
+    /// backed-off interval while the peer is dead).
+    pub fn probe_interval(&self, id: u32) -> u64 {
+        self.peers[id as usize].backoff
+    }
+
     /// Advance the probe loop to time `now`. `probe` performs one probe
-    /// exchange (RC READ + ACK wait) and reports whether the collector
-    /// acknowledged in time. Returns the new mask if any verdict flipped
-    /// — the caller must then push it to every switch's liveness
+    /// exchange (RC READ + ACK wait) and reports the probe's round-trip
+    /// time in ticks — `Some(rtt)` if the collector acknowledged in
+    /// time, `None` for a timeout. Returns the new mask if any verdict
+    /// flipped — the caller must then push it to every switch's liveness
     /// registers (and to the query side).
-    pub fn tick(&mut self, now: u64, mut probe: impl FnMut(u32) -> bool) -> Option<LivenessMask> {
+    pub fn tick(
+        &mut self,
+        now: u64,
+        mut probe: impl FnMut(u32) -> Option<u64>,
+    ) -> Option<LivenessMask> {
         let mut changed = false;
         for id in 0..self.peers.len() {
             let due = self.peers[id].next_probe_at <= now;
             if !due {
                 continue;
             }
-            let acked = probe(id as u32);
+            let rtt = probe(id as u32);
             let cfg = self.config;
             let peer = &mut self.peers[id];
             if let Some(o) = &self.obs {
                 o.probes.inc();
             }
-            if acked {
+            if let Some(sample) = rtt {
                 // Any ACK restores full health: reset the miss count and
-                // the backed-off cadence.
+                // re-adapt the cadence to the fresh RTT sample.
                 if !peer.live {
                     peer.live = true;
                     changed = true;
@@ -203,7 +270,7 @@ impl HealthMonitor {
                     }
                 }
                 peer.misses = 0;
-                peer.backoff = cfg.interval;
+                peer.backoff = peer.absorb_rtt(sample, &cfg);
             } else {
                 peer.misses += 1;
                 if let Some(o) = &self.obs {
@@ -324,7 +391,9 @@ mod tests {
 
     fn probe_config() -> ProbeConfig {
         ProbeConfig {
-            interval: 10,
+            min_interval: 10,
+            max_interval: 80,
+            rtt_dev_mult: 2,
             miss_threshold: 3,
             backoff_max: 80,
         }
@@ -334,7 +403,7 @@ mod tests {
     fn monitor_stays_quiet_while_all_ack() {
         let mut mon = HealthMonitor::new(3, probe_config());
         for now in (0..200).step_by(5) {
-            assert_eq!(mon.tick(now, |_| true), None);
+            assert_eq!(mon.tick(now, |_| Some(8)), None);
         }
         assert_eq!(mon.mask().live_count(), 3);
     }
@@ -349,10 +418,10 @@ mod tests {
         loop {
             let flipped = mon.tick(now, |id| {
                 if id == 0 {
-                    return true;
+                    return Some(8);
                 }
                 calls += 1;
-                calls == 3 // acks only its third probe
+                (calls == 3).then_some(8) // acks only its third probe
             });
             if let Some(mask) = flipped {
                 assert!(!mask.is_live(1));
@@ -378,7 +447,7 @@ mod tests {
                 if dead {
                     probes_while_dead += 1;
                 }
-                revive
+                revive.then_some(8)
             }) {
                 if mask.is_live(0) {
                     alive_again_at = Some(now);
@@ -386,9 +455,10 @@ mod tests {
                 }
             }
         }
-        // Backoff: dead from ~t=30 to ~t=1000, probed at 20,40,80,80...
-        // cadence — far fewer than the ~97 an un-backed-off loop would
-        // send, but enough that revival lands within one backoff_max.
+        // Backoff: dead from ~t=30 to ~t=1000, probed at a doubling
+        // cadence capped at backoff_max — far fewer than an
+        // un-backed-off loop would send, but enough that revival lands
+        // within one backoff_max.
         assert!(
             (5..40).contains(&probes_while_dead),
             "dead-collector probes: {probes_while_dead}"
@@ -410,7 +480,7 @@ mod tests {
         loop {
             obs.set_tick(now);
             let acks = now > 200; // collector comes back after t=200
-            if let Some(mask) = mon.tick(now, |_| acks) {
+            if let Some(mask) = mon.tick(now, |_| acks.then_some(8)) {
                 if mask.is_live(0) {
                     break; // revived
                 }
@@ -451,7 +521,7 @@ mod tests {
             .unwrap();
         let mut mask = None;
         for now in 0..200 {
-            if let Some(m) = mon.tick(now, |id| id != 2) {
+            if let Some(m) = mon.tick(now, |id| (id != 2).then_some(8)) {
                 mask = Some(m);
                 break;
             }
@@ -462,5 +532,103 @@ mod tests {
         }
         assert_eq!(eg.liveness_mask(), mask);
         assert!(!eg.liveness_mask().is_live(2));
+    }
+
+    #[test]
+    fn adaptive_interval_converges_to_stable_rtt() {
+        // Constant RTT: the deviation term decays to zero and the
+        // interval settles on exactly srtt (above the clamp floor).
+        let mut mon = HealthMonitor::new(1, probe_config());
+        for now in 0..5000 {
+            mon.tick(now, |_| Some(23));
+        }
+        assert_eq!(mon.probe_interval(0), 23);
+        // A faster collector is probed at the clamp floor, not below it.
+        let mut fast = HealthMonitor::new(1, probe_config());
+        for now in 0..5000 {
+            fast.tick(now, |_| Some(2));
+        }
+        assert_eq!(fast.probe_interval(0), 10);
+    }
+
+    #[test]
+    fn adaptive_interval_widens_under_jitter() {
+        // Alternating 8/24 RTTs: srtt ≈ 16, rttvar ≈ 8, so the cadence
+        // backs off to roughly srtt + 2·rttvar ≈ 32 — strictly gentler
+        // than the stable-RTT cadence at the same mean.
+        let mut mon = HealthMonitor::new(1, probe_config());
+        let mut flip = false;
+        for now in 0..5000 {
+            mon.tick(now, |_| {
+                flip = !flip;
+                Some(if flip { 8 } else { 24 })
+            });
+        }
+        let jittery = mon.probe_interval(0);
+        assert!(
+            (24..=60).contains(&jittery),
+            "jittery interval {jittery} outside expected band"
+        );
+        let mut stable = HealthMonitor::new(1, probe_config());
+        for now in 0..5000 {
+            stable.tick(now, |_| Some(16));
+        }
+        assert!(stable.probe_interval(0) < jittery);
+    }
+
+    #[test]
+    fn adaptive_timeout_converges_under_gilbert_elliott_faults() {
+        // A two-state GilbertElliott loss process driven by a
+        // deterministic LCG: mostly-lossless Good state, bursty Bad
+        // state. Burst lengths stay below the miss threshold almost
+        // always, so the estimator must ride through the loss bursts
+        // without flapping the peer dead, keep every cadence choice
+        // inside the clamp window, and re-converge to the true RTT once
+        // the faulty window ends.
+        let cfg = probe_config();
+        let mut mon = HealthMonitor::new(1, cfg);
+        let mut lcg: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut rand = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) as u32
+        };
+        let mut bad_state = false;
+        let mut flaps = 0u32;
+        for now in 0..60_000u64 {
+            let was_live = mon.mask().is_live(0);
+            mon.tick(now, |_| {
+                // State transition per probe: Good→Bad 10%, Bad→Good 60%.
+                let r = rand() % 100;
+                bad_state = if bad_state { r < 40 } else { r < 10 };
+                let lost = bad_state && rand() % 100 < 50;
+                if lost {
+                    return None;
+                }
+                Some(12 + u64::from(rand() % 7)) // RTT 12..=18
+            });
+            let interval = mon.probe_interval(0);
+            if mon.mask().is_live(0) {
+                assert!(
+                    (cfg.min_interval..=cfg.max_interval).contains(&interval),
+                    "live cadence {interval} escaped the clamp at t={now}"
+                );
+            } else {
+                assert!(interval <= cfg.backoff_max);
+            }
+            if was_live && !mon.mask().is_live(0) {
+                flaps += 1;
+            }
+        }
+        // Bursts occasionally exceed the threshold, but the backoff +
+        // instant-revival design keeps flapping rare.
+        assert!(flaps < 20, "monitor flapped {flaps} times under GE loss");
+        // Faults end: clean RTT samples re-converge the cadence.
+        for now in 60_000..70_000u64 {
+            mon.tick(now, |_| Some(14));
+        }
+        assert!(mon.mask().is_live(0));
+        assert_eq!(mon.probe_interval(0), 14);
     }
 }

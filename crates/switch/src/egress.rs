@@ -16,8 +16,10 @@
 //! two (the modulo reduction is a bit mask on Tofino), keys are bounded
 //! (parser depth), and the only mutable state is the PSN register array.
 
+use std::collections::HashSet;
+
 use dta_core::hash::{
-    failover_collector, AddressMapping, CrcMapping, FailoverTarget, LivenessMask,
+    failover_collector, AddressMapping, CrcMapping, FailoverRecord, FailoverTarget, LivenessMask,
 };
 use dta_core::primitive::{append_encode_entry, increment_decode, PrimitiveSpec};
 use dta_obs::{Counter, EventKind, Obs};
@@ -31,6 +33,13 @@ use crate::SwitchIdentity;
 
 /// Maximum telemetry key length the parser supports.
 pub const MAX_KEY_LEN: usize = 64;
+
+/// Cap on distinct keys the failover log retains. Slots store only the
+/// non-invertible key *checksum*, so the re-replication sweep must be
+/// key-driven: the switch is the one component that sees every remapped
+/// key and can remember it. The cap bounds the control-plane SRAM/DRAM
+/// this costs; overflow is counted, never silently dropped.
+pub const FAILOVER_LOG_CAP: usize = 4096;
 
 /// Errors from the egress engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +160,10 @@ pub struct EgressCounters {
     pub failovers: u64,
     /// Reports dropped because every liveness register read dead.
     pub no_live_collector: u64,
+    /// Remapped keys the failover log could not retain because it was
+    /// at [`FAILOVER_LOG_CAP`]. The sweep for those keys degrades to
+    /// query-time failover (the old behaviour), never to data loss.
+    pub failover_log_dropped: u64,
 }
 
 /// Cached observability handles: registered once at attach time so the
@@ -181,6 +194,12 @@ pub struct DartEgress {
     /// written by the control plane's health monitor, read feed-forward
     /// by every report (§6's register-extern-only constraint).
     liveness: RegisterArray<u8>,
+    /// Control-plane log of keys remapped while their primary was dead:
+    /// one [`FailoverRecord`] per distinct key, insertion-ordered (so
+    /// draining is deterministic), membership-checked through
+    /// `failover_logged`. The recovery sweep drains this.
+    failover_log: Vec<FailoverRecord>,
+    failover_logged: HashSet<Vec<u8>>,
     counters: EgressCounters,
     obs: Option<EgressObs>,
 }
@@ -222,6 +241,8 @@ impl DartEgress {
             psn_registers: RegisterArray::new(collectors),
             tail_registers: RegisterArray::new(tail_cells),
             liveness,
+            failover_log: Vec::new(),
+            failover_logged: HashSet::new(),
             counters: EgressCounters::default(),
             obs: None,
         })
@@ -348,6 +369,31 @@ impl DartEgress {
             .ok()
     }
 
+    /// Drain every failover record whose dead primary was
+    /// `primary` — called by the control plane when that collector
+    /// transitions back to alive, to seed the re-replication sweep.
+    /// Records for other (still dead) primaries stay logged; drained
+    /// keys become loggable again, so a second outage re-records them.
+    pub fn drain_failover_records(&mut self, primary: u32) -> Vec<FailoverRecord> {
+        let mut drained = Vec::new();
+        let mut kept = Vec::new();
+        for record in self.failover_log.drain(..) {
+            if record.primary == primary {
+                self.failover_logged.remove(&record.key);
+                drained.push(record);
+            } else {
+                kept.push(record);
+            }
+        }
+        self.failover_log = kept;
+        drained
+    }
+
+    /// Number of distinct keys currently held in the failover log.
+    pub fn failover_log_len(&self) -> usize {
+        self.failover_log.len()
+    }
+
     /// Data-plane collector resolution: the primary hash, then the
     /// liveness registers. A dead primary's report is remapped onto a
     /// live survivor by [`failover_collector`] — the identical function
@@ -362,6 +408,20 @@ impl DartEgress {
             FailoverTarget::Primary(id) => Ok(id),
             FailoverTarget::Failover { primary, target } => {
                 self.counters.failovers += 1;
+                if self.failover_logged.contains(key) {
+                    // Already logged; first record wins — the sweep
+                    // re-derives the read location from the outage mask,
+                    // so the recorded target is advisory.
+                } else if self.failover_logged.len() < FAILOVER_LOG_CAP {
+                    self.failover_logged.insert(key.to_vec());
+                    self.failover_log.push(FailoverRecord {
+                        primary,
+                        target,
+                        key: key.to_vec(),
+                    });
+                } else {
+                    self.counters.failover_log_dropped += 1;
+                }
                 if let Some(o) = &self.obs {
                     o.failovers.inc();
                     o.obs.event(EventKind::FailoverRemap {
@@ -1135,6 +1195,42 @@ mod tests {
             Some(1)
         );
         assert_eq!(obs.ring().events_named("no_live_collector").len(), 1);
+    }
+
+    #[test]
+    fn failover_log_records_remapped_keys_once_and_drains_per_primary() {
+        let mut e = egress_pair();
+        let mapping = CrcMapping::new();
+        let primary = mapping.collector(b"fo-key", 2);
+
+        // Healthy writes are never logged.
+        e.craft_report_copy(b"fo-key", &[1u8; 20], 0).unwrap();
+        assert_eq!(e.failover_log_len(), 0);
+
+        // Outage: each remapped key is logged exactly once no matter how
+        // many reports it generates.
+        e.set_collector_liveness(primary, false).unwrap();
+        for _ in 0..3 {
+            e.craft_report_copy(b"fo-key", &[1u8; 20], 0).unwrap();
+        }
+        assert_eq!(e.failover_log_len(), 1);
+        assert_eq!(e.counters().failovers, 3);
+        assert_eq!(e.counters().failover_log_dropped, 0);
+
+        // Draining the wrong primary returns nothing and keeps the log.
+        assert!(e.drain_failover_records(1 - primary).is_empty());
+        assert_eq!(e.failover_log_len(), 1);
+
+        // Draining the dead primary returns the record and re-arms the
+        // key for a future outage.
+        let drained = e.drain_failover_records(primary);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].primary, primary);
+        assert_eq!(drained[0].target, 1 - primary);
+        assert_eq!(drained[0].key, b"fo-key".to_vec());
+        assert_eq!(e.failover_log_len(), 0);
+        e.craft_report_copy(b"fo-key", &[1u8; 20], 0).unwrap();
+        assert_eq!(e.failover_log_len(), 1);
     }
 
     #[test]

@@ -9,10 +9,10 @@
 
 use std::collections::HashMap;
 
-use dta_collector::{CollectorCluster, CollectorHealth, FaultDrops};
+use dta_collector::{CollectorCluster, CollectorHealth, FaultDrops, SweepConfig};
 use dta_core::config::DartConfig;
 use dta_core::hash::MappingKind;
-use dta_core::primitive::{increment_encode, PrimitiveSpec};
+use dta_core::primitive::{increment_encode, seq_newest, PrimitiveSpec};
 use dta_core::query::{classify, QueryClass, QueryOutcome, ReturnPolicy};
 use dta_obs::{EventKind, Obs};
 use dta_rdma::link::{link, FaultModel, LinkRx, LinkStats, LinkTx};
@@ -106,6 +106,9 @@ pub struct SimConfig {
     pub initial_psn: u32,
     /// Health-monitor probe loop parameters (ticks = link frames sent).
     pub probe: ProbeConfig,
+    /// Recovery re-replication sweep pacing (batch size, inter-batch
+    /// gap, retry policy).
+    pub sweep: SweepConfig,
 }
 
 impl Default for SimConfig {
@@ -125,6 +128,7 @@ impl Default for SimConfig {
             faults: Vec::new(),
             initial_psn: 0,
             probe: ProbeConfig::default(),
+            sweep: SweepConfig::default(),
         }
     }
 }
@@ -509,8 +513,9 @@ impl FatTreeSim {
                 i += 1;
             }
         }
+        let prev = self.monitor.mask();
         let cluster = &mut self.cluster;
-        if let Some(mask) = self.monitor.tick(now, |id| cluster.probe(id)) {
+        if let Some(mask) = self.monitor.tick(now, |id| cluster.probe_rtt(id)) {
             for sw in self.switches.values_mut() {
                 for id in 0..mask.total() {
                     sw.egress_mut()
@@ -519,6 +524,45 @@ impl FatTreeSim {
                 }
             }
             self.cluster.set_liveness_mask(mask);
+            // Any collector transitioning dead→alive gets a recovery
+            // sweep: the switches' failover logs say which keys were
+            // remapped during the outage, the pre-flip mask says where
+            // they went, and (for Append) the switch tail registers say
+            // where the primary's rings left off.
+            for id in 0..mask.total() {
+                if mask.is_live(id) && !prev.is_live(id) {
+                    let mut records = Vec::new();
+                    for sw in self.switches.values_mut() {
+                        records.extend(sw.egress_mut().drain_failover_records(id));
+                    }
+                    let mut tails: Vec<(u64, u32)> = Vec::new();
+                    if matches!(self.config.primitive, PrimitiveSpec::Append { .. }) {
+                        for ring in 0..self.config.primitive.rings(self.config.slots) {
+                            let mut newest = 0u32;
+                            for sw in self.switches.values() {
+                                if let Some(tail) = sw.egress().ring_tail(id, ring) {
+                                    newest = seq_newest(newest, tail);
+                                }
+                            }
+                            if newest != 0 {
+                                tails.push((ring, newest));
+                            }
+                        }
+                    }
+                    self.cluster
+                        .schedule_rerepl(id, prev, records, &tails, self.config.sweep, now);
+                }
+            }
+        }
+        // Drive in-flight sweeps one frame-clock step; a completed sweep
+        // hands back the ring tails its re-appends advanced, which every
+        // switch must adopt before its next append to those rings.
+        for rec in self.cluster.rerepl_tick(now) {
+            for sw in self.switches.values_mut() {
+                sw.egress_mut()
+                    .set_ring_tail(rec.collector, rec.ring, rec.stored_seq)
+                    .expect("reconciled ring within geometry");
+            }
         }
     }
 

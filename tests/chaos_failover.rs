@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use direct_telemetry_access::collector::{CollectorCluster, CollectorHealth};
+use direct_telemetry_access::collector::{CollectorCluster, CollectorHealth, SweepConfig};
 use direct_telemetry_access::core::config::DartConfig;
 use direct_telemetry_access::core::hash::MappingKind;
 use direct_telemetry_access::core::query::QueryOutcome;
@@ -384,6 +384,30 @@ fn flip_liveness(egress: &mut DartEgress, cluster: &mut CollectorCluster, id: u3
     cluster.set_liveness_mask(mask);
 }
 
+/// Drain the switch's failover log and drive a full re-replication
+/// sweep for `primary` to completion — the control-plane reaction to a
+/// dead→alive flip, inlined for the direct rig.
+fn run_sweep(
+    egress: &mut DartEgress,
+    cluster: &mut CollectorCluster,
+    primary: u32,
+    outage_mask: direct_telemetry_access::core::hash::LivenessMask,
+    config: SweepConfig,
+) {
+    let records = egress.drain_failover_records(primary);
+    cluster.schedule_rerepl(primary, outage_mask, records, &[], config, 0);
+    let mut now = 0;
+    while cluster.sweep_active(primary) {
+        now += 1;
+        assert!(now < 10_000, "sweep did not converge");
+        for rec in cluster.rerepl_tick(now) {
+            egress
+                .set_ring_tail(rec.collector, rec.ring, rec.stored_seq)
+                .unwrap();
+        }
+    }
+}
+
 /// The wiped-memory guarantee: after a crash restart, a key re-written
 /// post-recovery answers with the new value and the pre-crash value is
 /// never seen again.
@@ -400,6 +424,7 @@ fn recovery_never_serves_stale_pre_crash_values() {
     // Crash + detection.
     cluster.set_health(primary, CollectorHealth::Crashed);
     flip_liveness(&mut egress, &mut cluster, primary, false);
+    let outage_mask = egress.liveness_mask();
 
     // Writes during the outage land at the failover target and answer.
     let v2 = [0x22; VALUE_LEN];
@@ -410,15 +435,177 @@ fn recovery_never_serves_stale_pre_crash_values() {
     cluster.recover(primary);
     flip_liveness(&mut egress, &mut cluster, primary, true);
 
-    // The pre-crash value is gone with the wipe. (The outage-era value
-    // is stranded at the failover target until re-replication lands —
-    // a documented gap — but *stale* data must never surface.)
+    // The pre-crash value is gone with the wipe, and until the sweep
+    // lands the outage-era value is stranded at the failover target
+    // (shadowed by the live primary) — but *stale* data never surfaces.
     assert_eq!(cluster.query(key), QueryOutcome::Empty);
+
+    // The re-replication sweep copies the outage-era value home.
+    run_sweep(
+        &mut egress,
+        &mut cluster,
+        primary,
+        outage_mask,
+        SweepConfig::default(),
+    );
+    assert_eq!(cluster.query(key), QueryOutcome::Answer(v2.to_vec()));
+    assert!(cluster.key_restored(key));
 
     // Re-written post-recovery: the fresh value, nothing older.
     let v3 = [0x33; VALUE_LEN];
     write(&mut egress, &mut cluster, key, &v3);
     assert_eq!(cluster.query(key), QueryOutcome::Answer(v3.to_vec()));
+}
+
+/// The double-fault guarantee: a primary that crashes *again* mid-sweep
+/// never loses the last surviving copy. Tombstoning is ACK-gated and
+/// deferred to sweep completion, so an aborted sweep leaves every
+/// failover copy intact and parks every record for the next recovery.
+#[test]
+fn double_fault_mid_sweep_never_loses_the_last_copy() {
+    let (mut egress, mut cluster) = switch_and_cluster();
+
+    // A handful of keys that all live on one primary, written only
+    // while that primary is down.
+    let primary = cluster.collector_of(b"df-key-0");
+    let mut keys = Vec::new();
+    let mut i = 0u32;
+    while keys.len() < 6 {
+        let key = format!("df-key-{i}").into_bytes();
+        if cluster.collector_of(&key) == primary {
+            keys.push(key);
+        }
+        i += 1;
+    }
+
+    cluster.set_health(primary, CollectorHealth::Crashed);
+    flip_liveness(&mut egress, &mut cluster, primary, false);
+    let outage_mask = egress.liveness_mask();
+    let value = [0x5A; VALUE_LEN];
+    for key in &keys {
+        write(&mut egress, &mut cluster, key, &value);
+        assert_eq!(cluster.query(key), QueryOutcome::Answer(value.to_vec()));
+    }
+
+    // Recover; the sweep starts, one key per batch.
+    cluster.recover(primary);
+    flip_liveness(&mut egress, &mut cluster, primary, true);
+    let records = egress.drain_failover_records(primary);
+    assert_eq!(records.len(), keys.len());
+    cluster.schedule_rerepl(
+        primary,
+        outage_mask,
+        records,
+        &[],
+        SweepConfig {
+            batch_size: 1,
+            pacing: 1,
+            ..SweepConfig::default()
+        },
+        0,
+    );
+    cluster.rerepl_tick(1);
+    assert!(cluster.sweep_active(primary), "sweep finished too early");
+    let mid = cluster.rerepl_stats();
+    assert_eq!(mid.slots_copied, 2, "one key × two copies written back");
+    assert_eq!(mid.slots_tombstoned, 0, "tombstoned before completion");
+
+    // Second crash, mid-sweep: the sweep aborts and parks everything —
+    // including the key it already wrote back, whose primary copies
+    // just died with the host.
+    cluster.set_health(primary, CollectorHealth::Crashed);
+    flip_liveness(&mut egress, &mut cluster, primary, false);
+    cluster.rerepl_tick(2);
+    assert!(!cluster.sweep_active(primary), "aborted sweep still alive");
+    assert_eq!(cluster.parked_records(primary), keys.len());
+
+    // No value lost: every failover copy survived the aborted sweep.
+    for key in &keys {
+        assert_eq!(
+            cluster.query(key),
+            QueryOutcome::Answer(value.to_vec()),
+            "double fault lost the last copy"
+        );
+    }
+
+    // The next recovery replays the parked records to completion.
+    cluster.recover(primary);
+    flip_liveness(&mut egress, &mut cluster, primary, true);
+    run_sweep(
+        &mut egress,
+        &mut cluster,
+        primary,
+        outage_mask,
+        SweepConfig::default(),
+    );
+    for key in &keys {
+        assert_eq!(cluster.query(key), QueryOutcome::Answer(value.to_vec()));
+        assert!(cluster.key_restored(key));
+    }
+    let stats = cluster.rerepl_stats();
+    assert_eq!(stats.keys_restored, keys.len() as u64);
+    assert_eq!(stats.slots_tombstoned, 2 * keys.len() as u64);
+}
+
+/// A degraded (lossy) last hop is not a reason to abort: the sweep
+/// pushes through with its retry budget, and when that budget runs out
+/// the record parks instead of vanishing. Every aborted write-back is
+/// accounted for in the primary's drop-reason histogram.
+#[test]
+fn degraded_sweep_aborts_are_accounted_and_parked() {
+    let (mut egress, mut cluster) = switch_and_cluster();
+    let key = b"degraded-sweep-key";
+    let primary = cluster.collector_of(key);
+
+    cluster.set_health(primary, CollectorHealth::Crashed);
+    flip_liveness(&mut egress, &mut cluster, primary, false);
+    let outage_mask = egress.liveness_mask();
+    let value = [0x77; VALUE_LEN];
+    write(&mut egress, &mut cluster, key, &value);
+
+    // Recover into a fully lossy last hop: every write-back drops.
+    cluster.recover(primary);
+    cluster.set_health(primary, CollectorHealth::Degraded { loss: 1.0 });
+    flip_liveness(&mut egress, &mut cluster, primary, true);
+    let records = egress.drain_failover_records(primary);
+    cluster.schedule_rerepl(
+        primary,
+        outage_mask,
+        records,
+        &[],
+        SweepConfig {
+            batch_size: 4,
+            pacing: 1,
+            max_retries: 2,
+            retry_backoff: 1,
+        },
+        0,
+    );
+    let mut now = 0;
+    while cluster.sweep_active(primary) {
+        now += 1;
+        assert!(now < 1000, "exhausted sweep did not terminate");
+        cluster.rerepl_tick(now);
+    }
+
+    let stats = cluster.rerepl_stats();
+    // One aborted write-back per attempt: the first try plus each retry.
+    assert_eq!(stats.writebacks_aborted, 3);
+    assert_eq!(stats.keys_restored, 0);
+    assert_eq!(
+        stats.slots_tombstoned, 0,
+        "no tombstone without an ACKed write-back"
+    );
+    // The record parked — the failover copy is shadowed but not lost.
+    assert_eq!(cluster.parked_records(primary), 1);
+    // The histogram at the primary accounts for every aborted frame.
+    let degraded: u64 = cluster
+        .drop_histogram(primary)
+        .iter()
+        .filter(|(r, _)| *r == DropReason::DegradedLink)
+        .map(|&(_, n)| n)
+        .sum();
+    assert_eq!(degraded, stats.writebacks_aborted);
 }
 
 /// Freshness ordering while blackholed: the primary still holds (and

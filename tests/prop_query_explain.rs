@@ -12,7 +12,7 @@
 //! the two paths must return the identical outcome while the narrated
 //! [`DecisionReason`] stays coherent with it.
 
-use direct_telemetry_access::collector::{CollectorCluster, CollectorHealth};
+use direct_telemetry_access::collector::{CollectorCluster, CollectorHealth, SweepConfig};
 use direct_telemetry_access::core::config::DartConfig;
 use direct_telemetry_access::core::hash::MappingKind;
 use direct_telemetry_access::core::primitive::{increment_encode, PrimitiveSpec};
@@ -121,6 +121,22 @@ fn assert_store_coherent(
                 prop_assert!(*votes >= needed, "consensus answered below threshold");
             }
         }
+        DecisionReason::RereplicatedCopy { votes } => {
+            // A restored primary answers like any other store — the
+            // reason only narrates that the copies survived an outage
+            // via the sweep, so it inherits every `Answered` invariant.
+            prop_assert!(
+                matches!(store.outcome, QueryOutcome::Answer(_)),
+                "rereplicated_copy reason with outcome {:?}",
+                store.outcome
+            );
+            prop_assert!(*votes > 0, "a restored answer needs evidence");
+            if let (PrimitiveSpec::KeyWrite, ReturnPolicy::Consensus(needed)) =
+                (primitive, store.policy)
+            {
+                prop_assert!(*votes >= needed, "consensus answered below threshold");
+            }
+        }
         DecisionReason::NoSlotMatched => {
             prop_assert_eq!(&store.outcome, &QueryOutcome::Empty);
             prop_assert_eq!(store.matched(), 0, "no_slot_matched with matches");
@@ -151,6 +167,65 @@ fn assert_store_coherent(
     Ok(())
 }
 
+/// The whole explain contract, checked for every key under every
+/// policy: identical outcomes on both paths, attribution in step with
+/// the answer, and a coherent narrated reason in every consulted store.
+/// Runs repeatedly — after ingest, mid-outage, and at every sweep batch
+/// boundary — so no phase of the failover lifecycle escapes it.
+fn assert_paths_agree(
+    primitive: PrimitiveSpec,
+    cluster: &mut CollectorCluster,
+) -> Result<(), TestCaseError> {
+    for key_index in 0..KEYS {
+        let key = key_bytes(key_index);
+        for policy in POLICIES {
+            let explain = cluster.try_query_explain(&key, policy);
+            let plain = cluster.try_query_with_policy(&key, policy);
+
+            // The contract: identical outcome, both calls.
+            prop_assert_eq!(
+                &plain,
+                &explain.outcome,
+                "paths diverged under {:?}/{:?}",
+                primitive,
+                policy
+            );
+
+            // `answered_by` names a collector exactly when there is
+            // an answer to attribute.
+            prop_assert_eq!(
+                explain.answered_by.is_some(),
+                matches!(explain.outcome, Ok(QueryOutcome::Answer(_))),
+                "answered_by out of step with the outcome"
+            );
+
+            // Every consulted store narrated a reason coherent with
+            // its own outcome and the policy in force; unreachable
+            // candidates carry no trace at all.
+            for candidate in &explain.candidates {
+                prop_assert_eq!(
+                    candidate.explain.is_some(),
+                    candidate.reachable,
+                    "probe trace shape broken"
+                );
+                if let Some(store) = &candidate.explain {
+                    prop_assert_eq!(store.policy, policy);
+                    // The restored-copy narration may only appear on
+                    // keys a completed sweep actually restored.
+                    if matches!(store.reason, DecisionReason::RereplicatedCopy { .. }) {
+                        prop_assert!(
+                            cluster.key_restored(&key),
+                            "rereplicated_copy narrated for an unswept key"
+                        );
+                    }
+                    assert_store_coherent(primitive, store)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 proptest! {
     #[test]
     fn query_and_explain_never_disagree(
@@ -161,6 +236,11 @@ proptest! {
         // 0 = all healthy, 1 = one collector crashed, 2 = blackholed.
         fault_kind in 0u8..3,
         fault_index in 0u32..COLLECTORS,
+        // Recovery phase: the ops written while the primary is down and
+        // the sweep batch size — small and random, so the batch
+        // boundaries the contract is re-checked at move around.
+        outage_ops in collection::vec((0usize..KEYS, any::<u8>()), 1..16),
+        sweep_batch in 1usize..4,
     ) {
         let primitive = primitive_from(primitive_index);
         let (mut egress, mut cluster) = rig(primitive);
@@ -193,41 +273,72 @@ proptest! {
             _ => {}
         }
 
-        for key_index in 0..KEYS {
-            let key = key_bytes(key_index);
-            for policy in POLICIES {
-                let explain = cluster.try_query_explain(&key, policy);
-                let plain = cluster.try_query_with_policy(&key, policy);
+        assert_paths_agree(primitive, &mut cluster)?;
 
-                // The contract: identical outcome, both calls.
-                prop_assert_eq!(
-                    &plain, &explain.outcome,
-                    "paths diverged under {:?}/{:?}", primitive, policy
-                );
+        // ── Recovery phase: crash a primary, keep writing through the
+        // failover path, recover it, then drive the re-replication
+        // sweep to completion — re-checking the whole explain contract
+        // mid-outage and at every sweep batch boundary, including the
+        // new `RereplicatedCopy` narration on restored keys. ──
+        let victim = fault_index;
+        cluster.set_health(victim, CollectorHealth::Crashed);
+        egress.set_collector_liveness(victim, false).unwrap();
+        let outage_mask = egress.liveness_mask();
+        cluster.set_liveness_mask(outage_mask);
 
-                // `answered_by` names a collector exactly when there is
-                // an answer to attribute.
-                prop_assert_eq!(
-                    explain.answered_by.is_some(),
-                    matches!(explain.outcome, Ok(QueryOutcome::Answer(_))),
-                    "answered_by out of step with the outcome"
-                );
+        let (mut tx, rx) = link(model, link_seed.wrapping_add(1));
+        for (key_index, byte) in &outage_ops {
+            let key = key_bytes(*key_index);
+            let value = value_for(primitive, value_len, *byte);
+            for report in egress.craft(&key, &value).unwrap() {
+                tx.send(report.frame);
+            }
+        }
+        tx.flush();
+        for frame in rx.drain() {
+            cluster.deliver(&frame);
+        }
+        assert_paths_agree(primitive, &mut cluster)?;
 
-                // Every consulted store narrated a reason coherent with
-                // its own outcome and the policy in force; unreachable
-                // candidates carry no trace at all.
-                for candidate in &explain.candidates {
-                    prop_assert_eq!(
-                        candidate.explain.is_some(),
-                        candidate.reachable,
-                        "probe trace shape broken"
-                    );
-                    if let Some(store) = &candidate.explain {
-                        prop_assert_eq!(store.policy, policy);
-                        assert_store_coherent(primitive, store)?;
+        cluster.recover(victim);
+        egress.set_collector_liveness(victim, true).unwrap();
+        cluster.set_liveness_mask(egress.liveness_mask());
+        let records = egress.drain_failover_records(victim);
+        let mut tails: Vec<(u64, u32)> = Vec::new();
+        if matches!(primitive, PrimitiveSpec::Append { .. }) {
+            for ring in 0..primitive.rings(SLOTS) {
+                if let Some(tail) = egress.ring_tail(victim, ring) {
+                    if tail != 0 {
+                        tails.push((ring, tail));
                     }
                 }
             }
         }
+        cluster.schedule_rerepl(
+            victim,
+            outage_mask,
+            records,
+            &tails,
+            SweepConfig {
+                batch_size: sweep_batch,
+                pacing: 1,
+                ..SweepConfig::default()
+            },
+            0,
+        );
+        let mut now = 0u64;
+        while cluster.sweep_active(victim) {
+            now += 1;
+            prop_assert!(now < 10_000, "sweep failed to converge");
+            for rec in cluster.rerepl_tick(now) {
+                egress
+                    .set_ring_tail(rec.collector, rec.ring, rec.stored_seq)
+                    .unwrap();
+            }
+            // The two paths may never disagree, even between batches of
+            // a half-finished sweep.
+            assert_paths_agree(primitive, &mut cluster)?;
+        }
+        assert_paths_agree(primitive, &mut cluster)?;
     }
 }
